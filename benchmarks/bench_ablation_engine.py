@@ -1,0 +1,55 @@
+"""Ablation — engine microbenchmarks backing the near-linear claims.
+
+Times the primitive operators (hash join, group-by, semijoin) on TPC-H
+sized inputs; these are the inner loops whose ``O(n log n)``-ish behaviour
+Theorems 4.1/5.1 assume of the substrate.
+"""
+
+import pytest
+
+from repro.engine import group_by, join, semijoin
+from repro.evaluation import count_query, evaluate_query, naive_join
+from repro.workloads import q1_workload
+
+
+@pytest.fixture(scope="module")
+def joined_tables(tpch_base):
+    workload = q1_workload()
+    db = workload.prepared(tpch_base)
+    orders = workload.query.bound_relation(db, "O")
+    lineitem = workload.query.bound_relation(db, "L")
+    return orders, lineitem
+
+
+def test_engine_hash_join(benchmark, joined_tables):
+    orders, lineitem = joined_tables
+    out = benchmark(lambda: join(orders, lineitem))
+    assert out.total_count() == lineitem.total_count()
+
+
+def test_engine_group_by(benchmark, joined_tables):
+    orders, _ = joined_tables
+    out = benchmark(lambda: group_by(orders, ("CK",)))
+    assert out.total_count() == orders.total_count()
+
+
+def test_engine_semijoin(benchmark, joined_tables):
+    orders, lineitem = joined_tables
+    out = benchmark(lambda: semijoin(orders, lineitem))
+    assert out.total_count() <= orders.total_count()
+
+
+def test_engine_yannakakis_count(benchmark, tpch_base):
+    workload = q1_workload()
+    db = workload.prepared(tpch_base)
+    count = benchmark(lambda: count_query(workload.query, db))
+    assert count > 0
+
+
+def test_engine_full_evaluation_matches_naive(benchmark, tpch_small):
+    workload = q1_workload()
+    db = workload.prepared(tpch_small)
+    out = benchmark.pedantic(
+        lambda: evaluate_query(workload.query, db), rounds=2, iterations=1
+    )
+    assert out.total_count() == naive_join(workload.query, db).total_count()

@@ -1,0 +1,62 @@
+"""Ablation — FlexDP (smooth elastic sensitivity) vs TSensDP noise scales.
+
+The TSens paper's DP claim in one number: the noise scale FlexDP must use
+(2·smooth-elastic/ε) dwarfs TSensDP's learned τ/ε′ whenever elastic is
+loose.  This bench times both mechanisms on the triangle query and asserts
+the scale gap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dp import run_flex_dp, run_tsens_dp
+from repro.dp.truncation import TruncationOracle
+from repro.experiments.table2 import loose_bound
+from repro.workloads import triangle_workload
+
+_state = {}
+
+
+def _oracle(db):
+    if "oracle" not in _state:
+        workload = triangle_workload()
+        _state["oracle"] = TruncationOracle(
+            workload.query, db, workload.primary, tree=workload.tree
+        )
+    return _state["oracle"]
+
+
+def test_flexdp_triangle(benchmark, facebook_base):
+    workload = triangle_workload()
+    db = workload.prepared(facebook_base)
+    rng = np.random.default_rng(0)
+    outcome = benchmark.pedantic(
+        lambda: run_flex_dp(
+            workload.query, db, primary=workload.primary,
+            epsilon=1.0, tree=workload.tree, rng=rng,
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    _state["flex_scale"] = 2 * outcome.smooth_sensitivity
+    benchmark.extra_info["noise_scale"] = _state["flex_scale"]
+
+
+def test_tsensdp_triangle(benchmark, facebook_base):
+    workload = triangle_workload()
+    db = workload.prepared(facebook_base)
+    oracle = _oracle(db)
+    ell = loose_bound(oracle.max_primary_sensitivity, floor=workload.ell)
+    rng = np.random.default_rng(0)
+    outcome = benchmark.pedantic(
+        lambda: run_tsens_dp(
+            workload.query, db, primary=workload.primary,
+            epsilon=1.0, ell=ell, tree=workload.tree, oracle=oracle, rng=rng,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    tsens_scale = outcome.tau / (1.0 - outcome.epsilon_threshold)
+    benchmark.extra_info["noise_scale"] = tsens_scale
+    if "flex_scale" in _state:
+        assert tsens_scale < _state["flex_scale"]

@@ -1,0 +1,46 @@
+"""Ablation — TSens vs naive re-evaluation (the Sec. 7.2 "×10k+" claim).
+
+Compares the cost of one TSens pass against re-evaluating the query per
+candidate tuple.  The re-evaluation baseline is *sampled* (50 probes per
+relation) so the bench completes; the per-probe cost times the true number
+of candidates gives the extrapolated full cost recorded in ``extra_info``.
+"""
+
+import time
+
+from repro.baselines import reevaluation_sensitivity
+from repro.core import local_sensitivity
+from repro.workloads import q1_workload
+
+
+def test_reeval_vs_tsens_speedup(benchmark, tpch_small):
+    workload = q1_workload()
+    db = workload.prepared(tpch_small)
+
+    tsens_start = time.perf_counter()
+    exact = local_sensitivity(workload.query, db)
+    tsens_seconds = time.perf_counter() - tsens_start
+
+    probes = 50
+    sampled = benchmark.pedantic(
+        lambda: reevaluation_sensitivity(
+            workload.query, db, max_probes_per_relation=probes
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert sampled.local_sensitivity <= exact.local_sensitivity
+
+    # Extrapolate: total candidates ≈ Σ (deletions + representative-domain
+    # insertions) per relation; the sampled run costs `probes` per relation.
+    total_candidates = 0
+    for relation in workload.query.relation_names:
+        total_candidates += db.relation(relation).distinct_count()
+        total_candidates += sum(1 for _ in db.representative_tuples(relation))
+    per_probe = benchmark.stats.stats.min / (probes * len(workload.query.relation_names))
+    extrapolated = per_probe * total_candidates
+    benchmark.extra_info["tsens_seconds"] = tsens_seconds
+    benchmark.extra_info["reeval_extrapolated_seconds"] = extrapolated
+    benchmark.extra_info["speedup"] = extrapolated / max(tsens_seconds, 1e-9)
+    # The paper reports ×10k+; at this tiny scale we still demand a big gap.
+    assert extrapolated > 10 * tsens_seconds

@@ -1,0 +1,45 @@
+"""Benchmark E1 — Figure 6a: TSens vs Elastic local sensitivity (TPC-H).
+
+Measures one TSens pass per TPC-H query and records, via ``extra_info``,
+the sensitivity values whose *ratio* is the figure's claim: Elastic is a
+few-fold looser on q1/q2 and orders of magnitude looser on the cyclic q3.
+"""
+
+import pytest
+
+from repro.baselines import elastic_sensitivity, plan_from_tree
+from repro.core import local_sensitivity
+from repro.query import auto_decompose
+from repro.workloads import q1_workload, q2_workload, q3_workload
+
+
+def _run(workload, base, benchmark):
+    db = workload.prepared(base)
+    tree = workload.tree or auto_decompose(workload.query)
+    result = benchmark.pedantic(
+        lambda: local_sensitivity(
+            workload.query, db, tree=workload.tree,
+            skip_relations=workload.skip_relations,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    elastic = elastic_sensitivity(workload.query, db, plan=plan_from_tree(tree))
+    benchmark.extra_info["tsens_ls"] = result.local_sensitivity
+    benchmark.extra_info["elastic_ls"] = elastic
+    assert result.local_sensitivity <= elastic
+    return result, elastic
+
+
+def test_fig6a_q1(benchmark, tpch_base):
+    _run(q1_workload(), tpch_base, benchmark)
+
+
+def test_fig6a_q2(benchmark, tpch_base):
+    _run(q2_workload(), tpch_base, benchmark)
+
+
+def test_fig6a_q3(benchmark, tpch_base):
+    result, elastic = _run(q3_workload(), tpch_base, benchmark)
+    # The cyclic query is where Elastic explodes (paper: up to 2.2M×).
+    assert elastic > 50 * result.local_sensitivity

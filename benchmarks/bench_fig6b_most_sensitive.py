@@ -1,0 +1,35 @@
+"""Benchmark E2 — Figure 6b: per-relation most sensitive tuples of q3.
+
+One full TSens pass over the paper's cyclic query produces every
+relation's multiplicity table; the benchmark times that pass and checks
+the figure's structural claims (Lineitem skipped; every reported tuple
+sensitivity below the corresponding per-relation Elastic bound).
+"""
+
+from repro.baselines import elastic_per_relation, plan_from_tree
+from repro.core import local_sensitivity
+from repro.workloads import q3_workload
+
+
+def test_fig6b_most_sensitive_tuples(benchmark, tpch_base):
+    workload = q3_workload()
+    db = workload.prepared(tpch_base)
+
+    result = benchmark.pedantic(
+        lambda: local_sensitivity(
+            workload.query, db, tree=workload.tree,
+            skip_relations=workload.skip_relations,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    elastic = elastic_per_relation(
+        workload.query, db, plan=plan_from_tree(workload.tree)
+    )
+    for relation in workload.query.relation_names:
+        witness = result.per_relation[relation]
+        benchmark.extra_info[f"delta_{relation}"] = witness.sensitivity
+        if relation in workload.skip_relations:
+            assert witness.sensitivity == 1  # superkey bound
+        else:
+            assert witness.sensitivity <= elastic[relation]

@@ -1,0 +1,55 @@
+"""Benchmark E3 — Figure 7: runtime of TSens vs Elastic vs evaluation.
+
+pytest-benchmark separately times, per TPC-H query, (a) the TSens pass,
+(b) the Elastic static analysis, and (c) the count-only Yannakakis
+evaluation.  The figure's claims: Elastic ≪ evaluation ≈ TSens (within a
+small constant factor).
+"""
+
+import pytest
+
+from repro.baselines import elastic_sensitivity, plan_from_tree
+from repro.core import local_sensitivity
+from repro.evaluation import count_query
+from repro.query import auto_decompose
+from repro.workloads import q1_workload, q2_workload, q3_workload
+
+WORKLOADS = {
+    "q1": q1_workload(),
+    "q2": q2_workload(),
+    "q3": q3_workload(),
+}
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_fig7_tsens_time(benchmark, tpch_base, name):
+    workload = WORKLOADS[name]
+    db = workload.prepared(tpch_base)
+    benchmark.pedantic(
+        lambda: local_sensitivity(
+            workload.query, db, tree=workload.tree,
+            skip_relations=workload.skip_relations,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_fig7_elastic_time(benchmark, tpch_base, name):
+    workload = WORKLOADS[name]
+    db = workload.prepared(tpch_base)
+    tree = workload.tree or auto_decompose(workload.query)
+    plan = plan_from_tree(tree)
+    benchmark(lambda: elastic_sensitivity(workload.query, db, plan=plan))
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_fig7_evaluation_time(benchmark, tpch_base, name):
+    workload = WORKLOADS[name]
+    db = workload.prepared(tpch_base)
+    benchmark.pedantic(
+        lambda: count_query(workload.query, db, tree=workload.tree),
+        rounds=3,
+        iterations=1,
+    )

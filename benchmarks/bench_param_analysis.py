@@ -1,0 +1,56 @@
+"""Benchmark E6 — the ℓ parameter sweep for q★ (Sec. 7.3).
+
+Times one TSensDP release per ℓ value (oracle shared), and asserts the
+sweet-spot shape: the error at a paper-style moderate ℓ beats both the
+over-truncating ℓ=1 and a grossly inflated ℓ.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dp import run_tsens_dp
+from repro.dp.truncation import TruncationOracle
+from repro.experiments.reporting import median
+from repro.workloads import star_workload
+
+BOUNDS = (1, 100, 1000, 100_000)
+_state = {}
+
+
+def _oracle(db):
+    if "oracle" not in _state:
+        workload = star_workload()
+        _state["oracle"] = TruncationOracle(
+            workload.query, db, workload.primary, tree=workload.tree
+        )
+    return _state["oracle"]
+
+
+@pytest.mark.parametrize("ell", BOUNDS)
+def test_param_sweep_ell(benchmark, facebook_base, ell):
+    workload = star_workload()
+    db = workload.prepared(facebook_base)
+    oracle = _oracle(db)
+    rng = np.random.default_rng(3)
+
+    def release():
+        return run_tsens_dp(
+            workload.query,
+            db,
+            primary=workload.primary,
+            epsilon=1.0,
+            ell=ell,
+            tree=workload.tree,
+            oracle=oracle,
+            rng=rng,
+        )
+
+    outcome = benchmark.pedantic(release, rounds=3, iterations=1)
+    errors = [release().relative_error for _ in range(10)]
+    _state.setdefault("errors", {})[ell] = median(errors)
+    benchmark.extra_info["median_rel_error"] = _state["errors"][ell]
+    if len(_state["errors"]) == len(BOUNDS):
+        errors_by_ell = _state["errors"]
+        best = min(errors_by_ell.values())
+        assert errors_by_ell[1] > best
+        assert errors_by_ell[100_000] > best

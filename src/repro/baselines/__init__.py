@@ -1,0 +1,19 @@
+"""Baseline sensitivity estimators the paper compares against."""
+
+from repro.baselines.elastic import (
+    JoinPlan,
+    elastic_per_relation,
+    elastic_sensitivity_at_distance,
+    elastic_sensitivity,
+    plan_from_tree,
+)
+from repro.baselines.reeval import reevaluation_sensitivity
+
+__all__ = [
+    "JoinPlan",
+    "elastic_per_relation",
+    "elastic_sensitivity_at_distance",
+    "elastic_sensitivity",
+    "plan_from_tree",
+    "reevaluation_sensitivity",
+]

@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the library's day-to-day uses:
+
+``sensitivity``
+    Local sensitivity of a query over data on disk (CSV directory or JSON
+    database), with the most sensitive tuple per relation.
+``count``
+    The bag count ``|Q(D)|``.
+``experiment``
+    Re-run one of the paper's experiments (fig6a, fig6b, fig7, table1,
+    table2, params) and print its table.
+``generate``
+    Materialise a synthetic dataset (tpch or facebook) to a JSON database
+    file for use with the other commands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.engine.io import load_database, load_database_csv_dir, save_database
+from repro.evaluation import count_query
+from repro.query import parse_query
+from repro.core import local_sensitivity
+from repro.exceptions import ReproError
+
+
+def _load_data(path_text: str, int_columns: bool):
+    path = Path(path_text)
+    if path.is_dir():
+        converters = None
+        if int_columns:
+            # Apply int() to every column of every relation lazily: build
+            # a mapping-of-mappings that defaults to int.
+            class _AllInt(dict):
+                def get(self, key, default=None):
+                    return _IntColumns()
+
+            class _IntColumns(dict):
+                def get(self, key, default=None):
+                    return int
+
+            converters = _AllInt()
+        return load_database_csv_dir(path, converters=converters)
+    return load_database(path)
+
+
+def _apply_where(query, clauses):
+    """Attach ``--where "REL: <predicate>"`` clauses to the query."""
+    from repro.query import parse_predicate
+
+    for clause in clauses or ():
+        if ":" not in clause:
+            raise ReproError(
+                f"--where needs the form 'RELATION: predicate', got {clause!r}"
+            )
+        relation, text = clause.split(":", 1)
+        query = query.with_selection(relation.strip(), parse_predicate(text))
+    return query
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    db = _load_data(args.data, args.int_columns)
+    query = _apply_where(parse_query(args.query), args.where)
+    result = local_sensitivity(
+        query,
+        db,
+        method=args.method,
+        top_k=args.top_k,
+        skip_relations=tuple(args.skip or ()),
+    )
+    print(f"query            : {query}")
+    print(f"method           : {result.method}")
+    print(f"local sensitivity: {result.local_sensitivity}")
+    if result.witness is not None:
+        print(
+            f"witness          : {result.witness.relation} "
+            f"{dict(result.witness.assignment)}"
+        )
+    print("per relation:")
+    for relation, witness in result.per_relation.items():
+        detail = dict(witness.assignment) if witness.assignment else "-"
+        print(f"  {relation}: δ={witness.sensitivity}  {detail}")
+    return 0
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    db = _load_data(args.data, args.int_columns)
+    query = _apply_where(parse_query(args.query), args.where)
+    print(count_query(query, db))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core import explain
+
+    db = _load_data(args.data, args.int_columns)
+    query = _apply_where(parse_query(args.query), args.where)
+    print(explain(query, db, skip_relations=tuple(args.skip or ())))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import fig6a, fig6b, fig7, param_analysis, table1, table2
+
+    name = args.name
+    if name == "fig6a":
+        scales = tuple(args.scales) if args.scales else fig6a.DEFAULT_SCALES
+        print(fig6a.report(fig6a.run(scales=scales, seed=args.seed)))
+    elif name == "fig6b":
+        scale = args.scales[0] if args.scales else fig6b.DEFAULT_SCALE
+        print(fig6b.report(fig6b.run(scale=scale, seed=args.seed)))
+    elif name == "fig7":
+        scales = tuple(args.scales) if args.scales else fig6a.DEFAULT_SCALES
+        print(fig7.report(fig7.run(scales=scales, seed=args.seed)))
+    elif name == "table1":
+        print(table1.report(table1.run(seed=args.seed)))
+    elif name == "table2":
+        scale = args.scales[0] if args.scales else table2.DEFAULT_TPCH_SCALE
+        print(
+            table2.report(
+                table2.run(tpch_scale=scale, n_runs=args.runs, seed=args.seed)
+            )
+        )
+    elif name == "params":
+        print(
+            param_analysis.report(
+                param_analysis.run(n_runs=args.runs, seed=args.seed)
+            )
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown experiment {name}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "tpch":
+        from repro.datasets import generate_tpch
+
+        db = generate_tpch(args.scale, seed=args.seed)
+    else:
+        from repro.datasets import generate_ego_network
+
+        db = generate_ego_network(seed=args.seed)
+    save_database(db, args.output)
+    sizes = {name: db.relation(name).total_count() for name in db.relation_names}
+    print(f"wrote {args.output}: {sizes}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Local sensitivities of counting queries with joins (TSens).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sens = subparsers.add_parser(
+        "sensitivity", help="compute LS(Q, D) and the most sensitive tuple"
+    )
+    sens.add_argument("--query", required=True, help='e.g. "R(A,B), S(B,C)"')
+    sens.add_argument(
+        "--data", required=True, help="CSV directory or JSON database file"
+    )
+    sens.add_argument(
+        "--method", default="auto", choices=["auto", "path", "tsens", "naive"]
+    )
+    sens.add_argument("--top-k", type=int, default=None, dest="top_k")
+    sens.add_argument(
+        "--skip", nargs="*", help="relations with certified δ ≤ 1 to skip"
+    )
+    sens.add_argument(
+        "--int-columns", action="store_true",
+        help="parse every CSV column as int",
+    )
+    sens.add_argument(
+        "--where", action="append",
+        help="selection clause 'RELATION: predicate', repeatable "
+             "(e.g. --where \"R: A = 1 and B in {2, 3}\")",
+    )
+    sens.set_defaults(handler=_cmd_sensitivity)
+
+    count = subparsers.add_parser("count", help="compute |Q(D)|")
+    count.add_argument("--query", required=True)
+    count.add_argument("--data", required=True)
+    count.add_argument("--int-columns", action="store_true")
+    count.add_argument("--where", action="append")
+    count.set_defaults(handler=_cmd_count)
+
+    explain_cmd = subparsers.add_parser(
+        "explain", help="profile a TSens run (intermediate sizes, factors)"
+    )
+    explain_cmd.add_argument("--query", required=True)
+    explain_cmd.add_argument("--data", required=True)
+    explain_cmd.add_argument("--int-columns", action="store_true")
+    explain_cmd.add_argument("--where", action="append")
+    explain_cmd.add_argument("--skip", nargs="*")
+    explain_cmd.set_defaults(handler=_cmd_explain)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="re-run a paper experiment"
+    )
+    experiment.add_argument(
+        "name",
+        choices=["fig6a", "fig6b", "fig7", "table1", "table2", "params"],
+    )
+    experiment.add_argument("--scales", nargs="*", type=float)
+    experiment.add_argument("--runs", type=int, default=20)
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    generate = subparsers.add_parser(
+        "generate", help="write a synthetic dataset to JSON"
+    )
+    generate.add_argument("dataset", choices=["tpch", "facebook"])
+    generate.add_argument("--scale", type=float, default=0.001)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True)
+    generate.set_defaults(handler=_cmd_generate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

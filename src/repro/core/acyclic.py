@@ -1,0 +1,271 @@
+"""TSens — Algorithm 2, local sensitivity of acyclic (and decomposed) CQs.
+
+Given a join tree (or generalized hypertree decomposition) ``T`` for a
+connected full CQ without self-joins, TSens makes two passes over ``T``:
+
+1. **Botjoins** ``K(v)`` in post-order (Eqn. 5/7) — multiplicities of the
+   partial joins of the subtree rooted at ``v``, grouped on the attributes
+   shared with the parent.
+2. **Topjoins** ``J(v)`` in pre-order (Eqn. 4/8) — multiplicities of the
+   partial joins of the *complement* of ``v``'s subtree, again grouped on
+   the shared attributes.
+
+The **multiplicity table** ``T^i`` of a relation ``R_i`` assigned to node
+``v`` joins the topjoin of ``v``, the botjoins of ``v``'s children, and the
+*other* relations materialised inside ``v`` (Sec. 5.4 "General joins"),
+grouped on ``R_i``'s effective attributes.  ``T^i[t]`` is simultaneously the
+upward and the downward tuple sensitivity of ``t`` because the join excludes
+``R_i`` itself — adding or removing ``t`` adds or removes exactly ``T^i[t]``
+output tuples.
+
+The local sensitivity is the max entry over all multiplicity tables
+(Theorem 5.1); the argmax row, extended with extrapolated values for
+exclusive attributes, is the most sensitive tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.database import Database
+from repro.engine.operators import group_by, join, join_all
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.evaluation.yannakakis import BoundTree, bind, compute_botjoins
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.gyo import gyo_join_tree
+from repro.query.jointree import DecompositionTree
+from repro.core.result import MultiplicityTable, SensitiveTuple, SensitivityResult
+from repro.exceptions import QueryStructureError
+
+
+def compute_topjoins(
+    bound: BoundTree, botjoins: Dict[str, Relation]
+) -> Dict[str, Optional[Relation]]:
+    """Topjoins ``J(v)`` for every node, in pre-order (paper Eqn. 8).
+
+    ``J(root)`` is ``None`` (the complement of the whole tree is empty).
+    For a node whose parent is the root the topjoin omits ``J(parent)``;
+    otherwise ``J(v) = γ_{A_v ∩ A_p} r̃join(rel_p, J(p), {K(s) | s ∈ N(v)})``.
+    """
+    tree = bound.tree
+    topjoins: Dict[str, Optional[Relation]] = {tree.root: None}
+    for node_id in tree.pre_order():
+        if node_id == tree.root:
+            continue
+        parent = tree.parent(node_id)
+        assert parent is not None
+        parts: List[Relation] = [bound.relation(parent)]
+        parent_top = topjoins[parent]
+        if parent_top is not None:
+            parts.append(parent_top)
+        for sibling in tree.neighbours(node_id):
+            parts.append(botjoins[sibling])
+        joined = join_all(parts)
+        group_attrs = sorted(tree.shared_with_parent(node_id))
+        topjoins[node_id] = group_by(joined, group_attrs)
+    return topjoins
+
+
+def _effective_attributes(query: ConjunctiveQuery, relation: str) -> Tuple[str, ...]:
+    """Attributes of ``relation`` shared with at least one other atom."""
+    atom = query.atom(relation)
+    exclusive = set(query.exclusive_variables(relation))
+    return tuple(v for v in atom.variables if v not in exclusive)
+
+
+def _connected_components(parts: List[Relation]) -> List[List[Relation]]:
+    """Group relations into components connected by shared attributes."""
+    remaining = list(parts)
+    components: List[List[Relation]] = []
+    while remaining:
+        seed = remaining.pop(0)
+        group = [seed]
+        attrs = set(seed.attributes)
+        changed = True
+        while changed:
+            changed = False
+            for other in list(remaining):
+                if attrs & set(other.attributes):
+                    group.append(other)
+                    attrs |= set(other.attributes)
+                    remaining.remove(other)
+                    changed = True
+        components.append(group)
+    return components
+
+
+def multiplicity_table(
+    bound: BoundTree,
+    botjoins: Dict[str, Relation],
+    topjoins: Dict[str, Optional[Relation]],
+    relation: str,
+) -> MultiplicityTable:
+    """The paper's ``T^i`` (Eqn. 6) for one base relation.
+
+    Joins everything *except* ``relation``: the node's topjoin, the node's
+    children botjoins, and the other relations assigned to the same node,
+    then groups by the relation's effective attributes.
+
+    The paper notes (Sec. 5.2) that these partial joins "may not share any
+    attributes in general" — materialising their cross product is exactly
+    the ``n^d`` blow-up of Theorem 5.1.  We avoid it losslessly: the parts
+    split into attribute-connected components, ``γ`` distributes over the
+    cross product of components, and the result is stored as a *factored*
+    :class:`~repro.core.result.MultiplicityTable` (the same representation
+    Algorithm 1 uses for path queries), so doubly acyclic queries never pay
+    the cross product.
+    """
+    tree = bound.tree
+    query = bound.query
+    node_id = tree.node_of_relation(relation)
+    parts: List[Relation] = []
+    top = topjoins[node_id]
+    if top is not None:
+        parts.append(top)
+    for child in tree.children(node_id):
+        parts.append(botjoins[child])
+    for other in tree.node(node_id).relations:
+        if other != relation:
+            parts.append(bound.atom_relation(other))
+    effective = _effective_attributes(query, relation)
+    if not parts:
+        # Single-relation query: Q(D) = R, every tuple has sensitivity 1.
+        table = Relation(Schema(effective), {(): 1} if not effective else {})
+        return MultiplicityTable(relation, (table,))
+
+    factors: List[Relation] = []
+    covered: List[str] = []
+    for component in _connected_components(parts):
+        joined = join_all(component)
+        component_effective = tuple(a for a in effective if a in joined.schema)
+        factors.append(group_by(joined, component_effective))
+        covered.extend(component_effective)
+    missing = [a for a in effective if a not in covered]
+    if missing:
+        raise QueryStructureError(
+            f"multiplicity table for {relation!r} is missing attributes "
+            f"{missing}; the decomposition does not cover the query"
+        )
+    return MultiplicityTable(relation, tuple(factors))
+
+
+def best_witness(
+    table: MultiplicityTable,
+    query: ConjunctiveQuery,
+    db: Database,
+    relation: str,
+) -> SensitiveTuple:
+    """The most sensitive tuple of ``relation`` honouring its selection.
+
+    Without a selection predicate this is the table argmax.  With one,
+    entries stream out in descending sensitivity until the first whose
+    extrapolated full assignment satisfies the predicate — matching the
+    paper's rule that tuples failing the selection have sensitivity 0.
+    (Exclusive attributes take their fixed representative value, exactly
+    as the brute-force Theorem 3.1 enumeration does.)
+    """
+    predicate = query.selections.get(relation)
+    if predicate is None:
+        partial, sensitivity = table.argmax()
+        if partial is None:
+            return SensitiveTuple(relation, {}, 0)
+        assignment = extrapolate_assignment(query, db, relation, partial)
+        return SensitiveTuple(relation, assignment, sensitivity)
+    for partial, sensitivity in table.iter_descending():
+        if sensitivity == 0:
+            break
+        assignment = extrapolate_assignment(query, db, relation, dict(partial))
+        if predicate(assignment):
+            return SensitiveTuple(relation, assignment, sensitivity)
+    return SensitiveTuple(relation, {}, 0)
+
+
+def extrapolate_assignment(
+    query: ConjunctiveQuery,
+    db: Database,
+    relation: str,
+    partial: Dict[str, object],
+) -> Dict[str, object]:
+    """Fill values for exclusive attributes of ``relation`` (Sec. 5.4).
+
+    Exclusive attributes do not affect the sensitivity, so any value works;
+    we take the relation's representative-domain pick for determinism.
+    """
+    assignment = dict(partial)
+    atom = query.atom(relation)
+    base_attrs = db.relation(relation).schema.attributes
+    var_to_column = dict(zip(atom.variables, base_attrs))
+    for var in query.exclusive_variables(relation):
+        if var not in assignment:
+            column = var_to_column[var]
+            domain = db.representative_domain(column, relation)
+            assignment[var] = min(domain, key=repr)
+    return assignment
+
+
+def tsens_connected(
+    query: ConjunctiveQuery,
+    db: Database,
+    tree: Optional[DecompositionTree] = None,
+    skip_relations: Iterable[str] = (),
+) -> SensitivityResult:
+    """TSens over a connected query.
+
+    Parameters
+    ----------
+    query:
+        Connected full CQ without self-joins.
+    db:
+        Database instance.
+    tree:
+        Join tree / GHD covering the query.  Defaults to the GYO join tree
+        (the query must then be acyclic).
+    skip_relations:
+        Relations whose multiplicity table is not computed; the paper skips
+        relations whose attributes form a superkey of the join output
+        (tuple sensitivity ≤ 1, e.g. LINEITEM in q3) to avoid a huge table.
+        Skipped relations get sensitivity bound 1 with no witness table.
+    """
+    if not query.is_connected():
+        raise QueryStructureError(
+            "tsens_connected needs a connected query; use local_sensitivity()"
+        )
+    if tree is None:
+        tree = gyo_join_tree(query)
+    if not tree.covers_query(query):
+        raise QueryStructureError(
+            f"decomposition does not cover query {query.name}"
+        )
+    skip = set(skip_relations)
+    bound = bind(query, tree, db)
+    botjoins = compute_botjoins(bound)
+    topjoins = compute_topjoins(bound, botjoins)
+
+    tables: Dict[str, MultiplicityTable] = {}
+    per_relation: Dict[str, SensitiveTuple] = {}
+    for relation in query.relation_names:
+        if relation in skip:
+            # The caller certifies δ ≤ 1 for this relation (e.g. its
+            # attributes form a superkey of the join output, as for
+            # LINEITEM in the paper's q3); record the bound, no table.
+            per_relation[relation] = SensitiveTuple(relation, {}, 1)
+            continue
+        table = multiplicity_table(bound, botjoins, topjoins, relation)
+        tables[relation] = table
+        per_relation[relation] = best_witness(table, query, db, relation)
+
+    local = max((w.sensitivity for w in per_relation.values()), default=0)
+    witness: Optional[SensitiveTuple] = None
+    if local > 0:
+        candidates = [w for w in per_relation.values() if w.sensitivity == local]
+        with_assignment = [w for w in candidates if w.assignment]
+        witness = (with_assignment or candidates)[0]
+    return SensitivityResult(
+        query_name=query.name,
+        method="tsens",
+        local_sensitivity=local,
+        witness=witness,
+        per_relation=per_relation,
+        tables=tables,
+    )

@@ -1,0 +1,114 @@
+"""Public dispatch API for local-sensitivity computation.
+
+:func:`local_sensitivity` picks the right algorithm for the query shape:
+
+======================  ==================================================
+query shape             algorithm
+======================  ==================================================
+path join               Algorithm 1 (:func:`repro.core.path.ls_path_join`)
+acyclic / cyclic /      Algorithm 2 with join tree or GHD
+disconnected            (:func:`repro.core.general.tsens`)
+any, ``method="naive"`` brute force (:func:`repro.core.naive`)
+======================  ==================================================
+
+All algorithms return the same :class:`~repro.core.result.SensitivityResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.engine.database import Database
+from repro.query.classify import is_path_query
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.jointree import DecompositionTree
+from repro.core.general import tsens
+from repro.core.naive import naive_local_sensitivity
+from repro.core.path import ls_path_join
+from repro.core.result import SensitivityResult
+from repro.core.topk import tsens_topk
+from repro.exceptions import MechanismConfigError
+
+
+def local_sensitivity(
+    query: ConjunctiveQuery,
+    db: Database,
+    method: str = "auto",
+    tree: Optional[DecompositionTree] = None,
+    skip_relations: Iterable[str] = (),
+    top_k: Optional[int] = None,
+    max_width: int = 3,
+) -> SensitivityResult:
+    """Compute ``LS(Q, D)`` and a most sensitive tuple (Definition 2.3).
+
+    Parameters
+    ----------
+    query:
+        Full conjunctive query without self-joins, optionally with
+        per-atom selections.
+    db:
+        Database instance.
+    method:
+        ``"auto"`` (path algorithm for path queries, TSens otherwise),
+        ``"path"``, ``"tsens"``, or ``"naive"``.
+    tree:
+        Decomposition override for TSens on connected queries.
+    skip_relations:
+        Relations certified to have tuple sensitivity ≤ 1 (e.g. their
+        attributes form a superkey of the output); their tables are skipped.
+    top_k:
+        When set, uses the clamping approximation of Sec. 5.4 — the result
+        is an upper bound on the true local sensitivity.
+    max_width:
+        GHD node-size cap for automatic decomposition of cyclic queries.
+
+    Examples
+    --------
+    >>> from repro.query import parse_query
+    >>> from repro.engine import Database, Relation
+    >>> q = parse_query("Q(A,B,C) :- R(A,B), S(B,C)")
+    >>> db = Database({
+    ...     "R": Relation(["A", "B"], [(1, 2), (3, 2)]),
+    ...     "S": Relation(["B", "C"], [(2, 4)]),
+    ... })
+    >>> result = local_sensitivity(q, db)
+    >>> result.local_sensitivity
+    2
+    >>> result.witness.relation
+    'S'
+    """
+    if method not in ("auto", "path", "tsens", "naive"):
+        raise MechanismConfigError(f"unknown method {method!r}")
+    if method == "naive":
+        return naive_local_sensitivity(query, db)
+    if top_k is not None:
+        return tsens_topk(
+            query, db, k=top_k, tree=tree, skip_relations=skip_relations
+        )
+    if method == "path" or (method == "auto" and tree is None and is_path_query(query)):
+        return ls_path_join(query, db)
+    return tsens(
+        query,
+        db,
+        tree=tree,
+        skip_relations=skip_relations,
+        max_width=max_width,
+    )
+
+
+def most_sensitive_tuples(
+    query: ConjunctiveQuery,
+    db: Database,
+    tree: Optional[DecompositionTree] = None,
+    skip_relations: Iterable[str] = (),
+) -> Mapping[str, object]:
+    """Per-relation most sensitive tuples (the paper's Fig. 6b report).
+
+    Returns a mapping ``relation -> SensitiveTuple``, skipping relations in
+    ``skip_relations`` (reported with bound 1, as the paper does for
+    LINEITEM in q3).
+    """
+    result = local_sensitivity(
+        query, db, method="tsens", tree=tree, skip_relations=skip_relations
+    )
+    return result.per_relation

@@ -1,0 +1,110 @@
+"""TSens for general queries: disconnected hypergraphs and cyclic queries.
+
+Two Sec. 5.4 extensions on top of :func:`repro.core.acyclic.tsens_connected`:
+
+* **Disconnected join trees** — the join of attribute-disjoint components is
+  a cross product, so a tuple's sensitivity within one component multiplies
+  by the output counts of all the others.  We run Algorithm 2 per component
+  and scale each component's multiplicity tables by the product of the
+  other components' counts.
+* **General (cyclic) joins** — when no join tree exists, a generalized
+  hypertree decomposition groups atoms into nodes (Fig. 5's hypertrees for
+  q3, q△, q◦); :func:`repro.query.ghd.auto_decompose` finds one
+  automatically when none is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.engine.database import Database
+from repro.evaluation.yannakakis import count_bound, bind
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.ghd import auto_decompose
+from repro.query.jointree import DecompositionTree
+from repro.core.acyclic import tsens_connected
+from repro.core.result import SensitiveTuple, SensitivityResult
+
+
+def tsens(
+    query: ConjunctiveQuery,
+    db: Database,
+    tree: Optional[DecompositionTree] = None,
+    skip_relations: Iterable[str] = (),
+    component_trees: Optional[Mapping[str, DecompositionTree]] = None,
+    max_width: int = 3,
+) -> SensitivityResult:
+    """TSens for any full CQ without self-joins.
+
+    Parameters
+    ----------
+    query, db:
+        The query and instance.
+    tree:
+        Decomposition for a *connected* query.  Ignored when the query is
+        disconnected (use ``component_trees`` instead).
+    skip_relations:
+        Relations certified to have tuple sensitivity ≤ 1 (superkey
+        argument); their tables are not computed.
+    component_trees:
+        For disconnected queries: optional mapping from a component's first
+        relation name to the decomposition to use for that component.
+    max_width:
+        Node-size cap handed to the automatic GHD search for cyclic
+        components without an explicit decomposition.
+    """
+    query.validate_against(db)
+    components = query.connected_components()
+    if len(components) == 1:
+        if tree is None:
+            tree = auto_decompose(query, max_width=max_width)
+        return tsens_connected(query, db, tree=tree, skip_relations=skip_relations)
+
+    skip = set(skip_relations)
+    sub_results = []
+    sub_counts = []
+    for index, component in enumerate(components):
+        sub = query.subquery(component, name=f"{query.name}#c{index}")
+        key = component[0].relation
+        sub_tree = None
+        if component_trees and key in component_trees:
+            sub_tree = component_trees[key]
+        if sub_tree is None:
+            sub_tree = auto_decompose(sub, max_width=max_width)
+        sub_skip = skip & set(sub.relation_names)
+        sub_results.append(tsens_connected(sub, db, tree=sub_tree, skip_relations=sub_skip))
+        sub_counts.append(count_bound(bind(sub, sub_tree, db)))
+
+    # Combine: sensitivities in component i scale by ∏_{j≠i} |Q_j(D)|.
+    total_product = 1
+    for count in sub_counts:
+        total_product *= count
+    per_relation: Dict[str, SensitiveTuple] = {}
+    tables = {}
+    for index, result in enumerate(sub_results):
+        own = sub_counts[index]
+        multiplier = 1
+        for j, count in enumerate(sub_counts):
+            if j != index:
+                multiplier *= count
+        for relation, table in result.tables.items():
+            tables[relation] = table.scaled(multiplier)
+        for relation, witness in result.per_relation.items():
+            per_relation[relation] = SensitiveTuple(
+                relation, witness.assignment, witness.sensitivity * multiplier
+            )
+
+    local = max((w.sensitivity for w in per_relation.values()), default=0)
+    witness: Optional[SensitiveTuple] = None
+    if local > 0:
+        candidates = [w for w in per_relation.values() if w.sensitivity == local]
+        with_assignment = [w for w in candidates if w.assignment]
+        witness = (with_assignment or candidates)[0]
+    return SensitivityResult(
+        query_name=query.name,
+        method="tsens",
+        local_sensitivity=local,
+        witness=witness,
+        per_relation=per_relation,
+        tables=tables,
+    )

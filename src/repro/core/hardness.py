@@ -1,0 +1,140 @@
+"""The Theorem 3.2 NP-hardness reduction, made executable.
+
+The paper proves that deciding ``LS(Q, D) > 0`` is NP-hard in combined
+complexity, even for acyclic queries, by reduction from 3SAT: each clause
+``C_i`` becomes a relation holding its seven satisfying boolean triples, an
+*empty* relation ``R0`` spans all variables, and the full join is non-empty
+after a single insertion into ``R0`` iff the formula is satisfiable.
+
+This module constructs the reduction and ships a tiny DPLL solver so tests
+can confirm, on random formulas, that ``LS(Q, D) > 0 ⟺ satisfiable`` — an
+executable witness of the proof (experiment E7 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.query.atoms import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.exceptions import ReproError
+
+Literal = Tuple[int, bool]  # (variable index starting at 1, is_positive)
+Clause = Tuple[Literal, Literal, Literal]
+
+
+@dataclass(frozen=True)
+class ThreeSatInstance:
+    """A 3SAT formula over variables ``1..num_variables``."""
+
+    num_variables: int
+    clauses: Tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            for var, _ in clause:
+                if not 1 <= var <= self.num_variables:
+                    raise ReproError(f"clause literal {var} out of range")
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Truth of the formula under ``assignment`` (index 0 = variable 1)."""
+        for clause in self.clauses:
+            if not any(assignment[var - 1] == positive for var, positive in clause):
+                return False
+        return True
+
+
+def reduction(instance: ThreeSatInstance) -> Tuple[ConjunctiveQuery, Database]:
+    """Build the Theorem 3.2 query/database pair for a 3SAT instance.
+
+    Returns ``(Q, D)`` with ``LS(Q, D) > 0`` iff ``instance`` is
+    satisfiable.  ``Q`` is acyclic: every clause relation is an ear of the
+    all-variables relation ``R0``.
+    """
+    variables = [f"A{i}" for i in range(1, instance.num_variables + 1)]
+    atoms: List[Atom] = [Atom("R0", variables)]
+    relations: Dict[str, Relation] = {
+        "R0": Relation(variables, ())  # empty — the crux of the reduction
+    }
+    for index, clause in enumerate(instance.clauses, start=1):
+        clause_vars = [f"A{var}" for var, _ in clause]
+        if len(set(clause_vars)) != 3:
+            raise ReproError(
+                f"clause {index} repeats a variable; the reduction needs "
+                "three distinct variables per clause"
+            )
+        rows = []
+        for bits in product((False, True), repeat=3):
+            if any(bit == positive for bit, (_, positive) in zip(bits, clause)):
+                rows.append(tuple(int(b) for b in bits))
+        name = f"C{index}"
+        atoms.append(Atom(name, tuple(clause_vars)))
+        relations[name] = Relation(clause_vars, rows)
+    query = ConjunctiveQuery(atoms, name="Q3sat")
+    return query, Database(relations)
+
+
+def dpll(instance: ThreeSatInstance) -> Optional[Tuple[bool, ...]]:
+    """A small DPLL SAT solver: a satisfying assignment or ``None``.
+
+    Unit propagation plus first-unassigned-variable branching — ample for
+    the test-sized formulas this module is used with.
+    """
+
+    def solve(assignment: Dict[int, bool]) -> Optional[Dict[int, bool]]:
+        # Unit propagation.
+        changed = True
+        local = dict(assignment)
+        while changed:
+            changed = False
+            for clause in instance.clauses:
+                undecided: List[Literal] = []
+                satisfied = False
+                for var, positive in clause:
+                    if var in local:
+                        if local[var] == positive:
+                            satisfied = True
+                            break
+                    else:
+                        undecided.append((var, positive))
+                if satisfied:
+                    continue
+                if not undecided:
+                    return None  # conflict
+                if len(undecided) == 1:
+                    var, positive = undecided[0]
+                    local[var] = positive
+                    changed = True
+        if len(local) == instance.num_variables:
+            return local
+        branch_var = next(
+            v for v in range(1, instance.num_variables + 1) if v not in local
+        )
+        for value in (True, False):
+            attempt = dict(local)
+            attempt[branch_var] = value
+            solution = solve(attempt)
+            if solution is not None:
+                return solution
+        return None
+
+    solution = solve({})
+    if solution is None:
+        return None
+    full = tuple(solution.get(v, False) for v in range(1, instance.num_variables + 1))
+    assert instance.evaluate(full)
+    return full
+
+
+def satisfying_insertion(
+    instance: ThreeSatInstance,
+) -> Optional[Tuple[int, ...]]:
+    """The ``R0`` tuple whose insertion makes the join non-empty, if any."""
+    solution = dpll(instance)
+    if solution is None:
+        return None
+    return tuple(int(b) for b in solution)

@@ -1,0 +1,128 @@
+"""Naive local sensitivity — the Theorem 3.1 brute-force algorithm.
+
+For every relation ``R_i``:
+
+* **downward**: for each distinct tuple ``t ∈ R_i``, re-count the query on
+  ``D \\ {t}``; the drop is ``δ⁻(t)``;
+* **upward**: for each tuple ``t`` in the *representative domain*
+  ``Σ^{A_i}_repr`` (Definition 3.1), re-count on ``D ∪ {t}``; the rise is
+  ``δ⁺(t)``.
+
+This runs in polynomial data complexity but is exponentially slower than
+TSens in practice (the paper reports ×10k+); it exists as a correctness
+oracle for tests and as the re-evaluation baseline the paper discusses in
+Sections 4.1/5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.engine.database import Database
+from repro.engine.relation import Row
+from repro.evaluation.yannakakis import count_query
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.core.result import SensitiveTuple, SensitivityResult
+from repro.exceptions import ReproError
+
+
+class DomainTooLargeError(ReproError):
+    """The representative domain exceeds the configured enumeration cap."""
+
+
+def _domain_size(db: Database, relation: str) -> int:
+    size = 1
+    rel = db.relation(relation)
+    for attr in rel.schema.attributes:
+        size *= max(1, len(db.representative_domain(attr, relation)))
+        if size > 10**9:
+            break
+    return size
+
+
+def naive_local_sensitivity(
+    query: ConjunctiveQuery,
+    db: Database,
+    max_candidates: int = 200_000,
+    relations: Optional[Iterable[str]] = None,
+) -> SensitivityResult:
+    """Brute-force ``LS(Q, D)`` with witness, via repeated re-counting.
+
+    Parameters
+    ----------
+    query:
+        Full CQ without self-joins (any shape — evaluation picks a
+        decomposition automatically).
+    db:
+        Database instance.
+    max_candidates:
+        Safety cap on the total number of re-evaluations; raises
+        :class:`DomainTooLargeError` beyond it.
+    relations:
+        Restrict the search to these relations (default: all).
+
+    Returns a :class:`~repro.core.result.SensitivityResult` without
+    multiplicity tables (``method="naive"``).
+    """
+    query.validate_against(db)
+    targets = tuple(relations) if relations is not None else query.relation_names
+
+    total_candidates = 0
+    for relation in targets:
+        total_candidates += db.relation(relation).distinct_count()
+        total_candidates += _domain_size(db, relation)
+    if total_candidates > max_candidates:
+        raise DomainTooLargeError(
+            f"naive search would evaluate {total_candidates} candidate tuples "
+            f"(cap {max_candidates}); use TSens instead"
+        )
+
+    base_count = count_query(query, db)
+    per_relation: Dict[str, SensitiveTuple] = {}
+    for relation in targets:
+        atom = query.atom(relation)
+        rel = db.relation(relation)
+        best_row: Optional[Row] = None
+        best_delta = 0
+        # Downward: deleting one occurrence of an existing tuple.
+        for row in rel:
+            delta = base_count - count_query(query, db.remove_tuple(relation, row))
+            if delta > best_delta:
+                best_delta, best_row = delta, row
+        # Upward: inserting any representative-domain tuple.
+        for row in db.representative_tuples(relation):
+            delta = count_query(query, db.add_tuple(relation, row)) - base_count
+            if delta > best_delta:
+                best_delta, best_row = delta, row
+        if best_row is None:
+            per_relation[relation] = SensitiveTuple(relation, {}, 0)
+        else:
+            assignment = dict(zip(atom.variables, best_row))
+            per_relation[relation] = SensitiveTuple(relation, assignment, best_delta)
+
+    local = max((w.sensitivity for w in per_relation.values()), default=0)
+    witness: Optional[SensitiveTuple] = None
+    if local > 0:
+        witness = next(w for w in per_relation.values() if w.sensitivity == local)
+    return SensitivityResult(
+        query_name=query.name,
+        method="naive",
+        local_sensitivity=local,
+        witness=witness,
+        per_relation=per_relation,
+        tables={},
+    )
+
+
+def naive_tuple_sensitivity(
+    query: ConjunctiveQuery, db: Database, relation: str, row: Row
+) -> int:
+    """``δ(t, Q, D)`` for a single tuple, by direct re-evaluation.
+
+    Computes ``max(δ⁺, δ⁻)`` per Definition 2.1 (for counting queries the
+    symmetric-difference size equals the count change).
+    """
+    base = count_query(query, db)
+    up = count_query(query, db.add_tuple(relation, row)) - base
+    down = base - count_query(query, db.remove_tuple(relation, row))
+    return max(up, down)

@@ -1,0 +1,123 @@
+"""Top-k frequency approximation of TSens (Sec. 5.4 "Efficient approximations").
+
+The exact algorithm's topjoins and botjoins can grow quadratically for some
+queries (the paper hits this on cyclic q3).  The approximation keeps, in
+every topjoin/botjoin, only the ``k`` largest frequencies exactly and clamps
+every other entry **up** to the k-th largest frequency.  Each clamped count
+dominates the true count, and counts propagate through ``r̃join``/``γ`` by
+products and sums of non-negative numbers, so every downstream multiplicity
+is an over-estimate: the result is a valid **upper bound** on each tuple
+sensitivity and on the local sensitivity, trading tightness for bounded
+frequency skew in the intermediates.
+
+``tsens_topk`` monkey-patches nothing: it wraps the bound tree's botjoin /
+topjoin passes with a clamping step, reusing the exact multiplicity-table
+construction from :mod:`repro.core.acyclic`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.engine.database import Database
+from repro.engine.operators import group_by, join_all
+from repro.engine.relation import Relation
+from repro.evaluation.yannakakis import bind
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.gyo import gyo_join_tree
+from repro.query.jointree import DecompositionTree
+from repro.core.acyclic import best_witness, multiplicity_table
+from repro.core.result import SensitiveTuple, SensitivityResult
+from repro.exceptions import MechanismConfigError, QueryStructureError
+
+
+def clamp_to_top_k(relation: Relation, k: int) -> Relation:
+    """Clamp all but the ``k`` largest counts up to the k-th largest.
+
+    Entries keep their keys; only counts below the k-th largest rise to it.
+    With ``k >= distinct_count`` the relation is returned unchanged.
+    """
+    if k <= 0:
+        raise MechanismConfigError(f"top-k clamp needs k >= 1, got {k}")
+    if relation.distinct_count() <= k:
+        return relation
+    counts = sorted(relation.counts.values(), reverse=True)
+    threshold = counts[k - 1]
+    clamped = {
+        row: (cnt if cnt >= threshold else threshold)
+        for row, cnt in relation.items()
+    }
+    return Relation._from_counts(relation.schema, clamped)
+
+
+def tsens_topk(
+    query: ConjunctiveQuery,
+    db: Database,
+    k: int,
+    tree: Optional[DecompositionTree] = None,
+    skip_relations: Iterable[str] = (),
+) -> SensitivityResult:
+    """Upper-bound TSens with per-pass top-k clamping (connected queries).
+
+    Identical to :func:`repro.core.acyclic.tsens_connected` except that each
+    botjoin and topjoin is clamped with :func:`clamp_to_top_k` before use.
+    The returned local sensitivity satisfies
+    ``LS(Q, D) <= result.local_sensitivity`` (tested property), with
+    equality for ``k`` at least the number of distinct boundary values.
+    """
+    if not query.is_connected():
+        raise QueryStructureError("tsens_topk needs a connected query")
+    if tree is None:
+        tree = gyo_join_tree(query)
+    bound = bind(query, tree, db)
+
+    # Botjoins with clamping (post-order).
+    botjoins: Dict[str, Relation] = {}
+    for node_id in tree.post_order():
+        current = bound.relation(node_id)
+        for child in tree.children(node_id):
+            current = join_all([current, botjoins[child]])
+        group_attrs = sorted(tree.shared_with_parent(node_id))
+        botjoins[node_id] = clamp_to_top_k(group_by(current, group_attrs), k)
+
+    # Topjoins with clamping (pre-order).
+    topjoins: Dict[str, Optional[Relation]] = {tree.root: None}
+    for node_id in tree.pre_order():
+        if node_id == tree.root:
+            continue
+        parent = tree.parent(node_id)
+        assert parent is not None
+        parts: List[Relation] = [bound.relation(parent)]
+        if topjoins[parent] is not None:
+            parts.append(topjoins[parent])  # type: ignore[arg-type]
+        for sibling in tree.neighbours(node_id):
+            parts.append(botjoins[sibling])
+        joined = join_all(parts)
+        group_attrs = sorted(tree.shared_with_parent(node_id))
+        topjoins[node_id] = clamp_to_top_k(group_by(joined, group_attrs), k)
+
+    skip = set(skip_relations)
+    per_relation: Dict[str, SensitiveTuple] = {}
+    tables = {}
+    for relation in query.relation_names:
+        if relation in skip:
+            per_relation[relation] = SensitiveTuple(relation, {}, 1)
+            continue
+        table = multiplicity_table(bound, botjoins, topjoins, relation)
+        tables[relation] = table
+        per_relation[relation] = best_witness(table, query, db, relation)
+
+    local = max((w.sensitivity for w in per_relation.values()), default=0)
+    witness: Optional[SensitiveTuple] = None
+    if local > 0:
+        candidates = [w for w in per_relation.values() if w.sensitivity == local]
+        with_assignment = [w for w in candidates if w.assignment]
+        witness = (with_assignment or candidates)[0]
+    return SensitivityResult(
+        query_name=query.name,
+        method=f"tsens-top{k}",
+        local_sensitivity=local,
+        witness=witness,
+        per_relation=per_relation,
+        tables=tables,
+    )

@@ -1,0 +1,106 @@
+"""Independent verification of sensitivity results.
+
+``verify_result`` re-measures every claim a
+:class:`~repro.core.result.SensitivityResult` makes — the overall witness,
+each per-relation witness, and (optionally) every table entry for tuples
+present in the database — by direct re-evaluation (Definition 2.1).  It is
+deliberately slow and independent of the TSens code paths: the point is to
+let a user (or a test) confirm a result against first principles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.engine.database import Database
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.core.naive import naive_tuple_sensitivity
+from repro.core.result import SensitivityResult
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of re-measuring a sensitivity result.
+
+    ``ok`` is True when every re-measured value matches the claim;
+    ``mismatches`` lists human-readable discrepancies otherwise.
+    """
+
+    ok: bool
+    checked: int
+    mismatches: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        lines = [f"verification {status}: {self.checked} claims checked"]
+        lines.extend(f"  mismatch: {m}" for m in self.mismatches)
+        return "\n".join(lines)
+
+
+def verify_result(
+    result: SensitivityResult,
+    query: ConjunctiveQuery,
+    db: Database,
+    check_tables: bool = False,
+    max_table_rows: int = 200,
+) -> VerificationReport:
+    """Re-measure a result's claims by direct re-evaluation.
+
+    Parameters
+    ----------
+    result:
+        The result to audit (from any method that reports witnesses).
+    query, db:
+        The query and instance the result was computed on.
+    check_tables:
+        Also re-measure the tuple sensitivity of existing database tuples
+        against the result's multiplicity tables (up to ``max_table_rows``
+        per relation) — the strongest, slowest check.
+    """
+    mismatches: List[str] = []
+    checked = 0
+
+    def check(relation: str, row, claimed: int, what: str) -> None:
+        nonlocal checked
+        checked += 1
+        measured = naive_tuple_sensitivity(query, db, relation, row)
+        if measured != claimed:
+            mismatches.append(
+                f"{what} {relation}{tuple(row)}: claimed {claimed}, "
+                f"measured {measured}"
+            )
+
+    if result.witness is not None and result.witness.assignment:
+        atom = query.atom(result.witness.relation)
+        check(
+            result.witness.relation,
+            result.witness.as_row(atom.variables),
+            result.witness.sensitivity,
+            "witness",
+        )
+
+    for relation, witness in result.per_relation.items():
+        if not witness.assignment:
+            continue
+        atom = query.atom(relation)
+        check(relation, witness.as_row(atom.variables), witness.sensitivity,
+              "per-relation witness")
+
+    if check_tables:
+        for relation, table in result.tables.items():
+            atom = query.atom(relation)
+            for index, row in enumerate(db.relation(relation)):
+                if index >= max_table_rows:
+                    break
+                assignment = dict(zip(atom.variables, row))
+                predicate = query.selections.get(relation)
+                if predicate is not None and not predicate(assignment):
+                    claimed = 0
+                else:
+                    claimed = table.sensitivity_of(assignment)
+                check(relation, row, claimed, "table entry")
+
+    return VerificationReport(
+        ok=not mismatches, checked=checked, mismatches=mismatches
+    )

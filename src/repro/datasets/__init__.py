@@ -1,0 +1,24 @@
+"""Dataset generators: TPC-H, Facebook ego-networks, and random instances."""
+
+from repro.datasets.facebook import (
+    generate_ego_network,
+    graph_statistics,
+    triangle_table,
+)
+from repro.datasets.random_db import (
+    random_acyclic_query,
+    random_database,
+    random_path_query,
+)
+from repro.datasets.tpch import generate_tpch, table_sizes
+
+__all__ = [
+    "generate_ego_network",
+    "generate_tpch",
+    "graph_statistics",
+    "random_acyclic_query",
+    "random_database",
+    "random_path_query",
+    "table_sizes",
+    "triangle_table",
+]

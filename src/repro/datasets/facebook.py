@@ -1,0 +1,137 @@
+"""Synthetic Facebook ego-network generator (Sec. 7.1 "Facebook").
+
+Substitution note (DESIGN.md): the paper uses SNAP's Facebook ego-network
+of user 348 (225 nodes, 6 384 directed edges, 567 circles).  That file is
+unavailable offline, so we synthesise a clustered social graph with matched
+statistics and reproduce the paper's table construction exactly:
+
+1. build a Watts–Strogatz small-world graph (high clustering — the
+   property the triangle/cycle queries exercise) with the target node and
+   edge counts, all edges bidirected;
+2. draw ``num_circles`` circles: node subsets with heavy-tailed sizes
+   (social circles are mostly small with a few large ones);
+3. per circle ``i`` build the edge table ``E_i`` of directed edges with
+   both endpoints inside the circle;
+4. sort the ``E_i`` by size descending and insert ``E_j`` into ``R_i``
+   when ``rank(E_j) mod 4`` selects table ``i`` — bag union, so an edge in
+   several circles gets multiplicity > 1, matching the paper's setup;
+5. build the triangle table ``TRI(x, y, z) :- R4(x,y), R4(y,z), R4(z,x)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.engine.database import Database
+from repro.engine.operators import join
+from repro.engine.relation import Relation
+from repro.exceptions import MechanismConfigError
+
+#: Defaults matching the SNAP ego-network of user 348 used in the paper.
+DEFAULT_NODES = 225
+DEFAULT_DIRECTED_EDGES = 6384
+DEFAULT_CIRCLES = 567
+
+
+def _ring_degree(nodes: int, directed_edges: int) -> int:
+    """Even ring degree giving approximately the requested edge count."""
+    undirected = directed_edges // 2
+    k = max(2, int(round(2 * undirected / nodes)))
+    return k if k % 2 == 0 else k + 1
+
+
+def generate_ego_network(
+    nodes: int = DEFAULT_NODES,
+    directed_edges: int = DEFAULT_DIRECTED_EDGES,
+    num_circles: int = DEFAULT_CIRCLES,
+    rewire_probability: float = 0.1,
+    seed: int = 0,
+) -> Database:
+    """Build the four edge tables ``R1..R4`` plus the triangle table ``TRI``.
+
+    Returns a :class:`~repro.engine.database.Database` with relations
+    ``R1(X, Y) .. R4(X, Y)`` and ``TRI(X, Y, Z)``.  No foreign keys: the
+    Facebook queries have none, which is exactly why PrivSQL performs no
+    truncation on them (Sec. 7.3).
+    """
+    if nodes < 8:
+        raise MechanismConfigError(f"need at least 8 nodes, got {nodes}")
+    rng = np.random.default_rng(seed)
+    k = _ring_degree(nodes, directed_edges)
+    graph = nx.watts_strogatz_graph(
+        nodes, k, rewire_probability, seed=int(rng.integers(0, 2**31))
+    )
+    directed: List[Tuple[int, int]] = []
+    for u, v in graph.edges():
+        directed.append((u, v))
+        directed.append((v, u))
+    adjacency = {node: set(graph.neighbors(node)) for node in graph.nodes()}
+
+    # Heavy-tailed circle sizes: mostly tiny cliques, occasionally large
+    # communities — mirrors the SNAP circle-size distribution.
+    circle_edge_tables: List[List[Tuple[int, int]]] = []
+    for _ in range(num_circles):
+        size = 2 + int(rng.pareto(2.0) * 2)
+        size = min(size, nodes)
+        # Grow the circle around a seed node so members tend to be linked.
+        seed_node = int(rng.integers(0, nodes))
+        members = {seed_node}
+        frontier = [seed_node]
+        while len(members) < size and frontier:
+            current = frontier.pop(0)
+            neighbours = sorted(adjacency[current] - members)
+            rng.shuffle(neighbours)
+            for other in neighbours:
+                if len(members) >= size:
+                    break
+                members.add(other)
+                frontier.append(other)
+        if len(members) < size:
+            extra = rng.choice(nodes, size=size - len(members), replace=False)
+            members |= {int(x) for x in extra}
+        edges = [
+            (u, v)
+            for u in members
+            for v in adjacency[u] & members
+        ]
+        circle_edge_tables.append(edges)
+
+    # Rank circles by edge-table size descending; table = rank mod 4.
+    order = sorted(
+        range(num_circles), key=lambda i: (-len(circle_edge_tables[i]), i)
+    )
+    buckets: Dict[int, List[Tuple[int, int]]] = {1: [], 2: [], 3: [], 4: []}
+    for rank, circle_index in enumerate(order, start=1):
+        table = ((rank - 1) % 4) + 1
+        buckets[table].extend(circle_edge_tables[circle_index])
+
+    relations = {
+        f"R{i}": Relation(["X", "Y"], buckets[i]) for i in range(1, 5)
+    }
+    relations["TRI"] = triangle_table(relations["R4"])
+    return Database(relations)
+
+
+def triangle_table(edges: Relation) -> Relation:
+    """``TRI(X,Y,Z) :- E(X,Y), E(Y,Z), E(Z,X)`` over one edge bag.
+
+    Multiplicities multiply along the three hops, matching the paper's
+    bag-semantics triangle construction from ``R4``.
+    """
+    e_xy = edges  # (X, Y)
+    e_yz = edges.rename({"X": "Y", "Y": "Z"})
+    partial = join(e_xy, e_yz)  # (X, Y, Z)
+    e_zx = edges.rename({"X": "Z", "Y": "X"})
+    closed = join(partial, e_zx)
+    # Reorder columns to (X, Y, Z) for a stable public schema.
+    from repro.engine.operators import group_by
+
+    return group_by(closed, ("X", "Y", "Z"))
+
+
+def graph_statistics(db: Database) -> Dict[str, int]:
+    """Sizes of the generated tables, for reports and sanity tests."""
+    return {name: db.relation(name).total_count() for name in db.relation_names}

@@ -1,0 +1,101 @@
+"""Random queries and databases for property-based testing.
+
+Generators used by the hypothesis/test suites to cross-check TSens against
+the naive algorithm on thousands of small random instances:
+
+* :func:`random_acyclic_query` — a random join tree turned into a query
+  (each tree edge contributes 1–2 shared variables; nodes may get an
+  exclusive variable);
+* :func:`random_path_query` — a chain with optional endpoint decorations;
+* :func:`random_database` — a random instance for any query, drawing each
+  attribute's values from a small shared domain so joins actually happen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.query.atoms import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+def random_acyclic_query(
+    rng: np.random.Generator,
+    num_atoms: int = 4,
+    extra_shared_probability: float = 0.3,
+    exclusive_probability: float = 0.3,
+) -> ConjunctiveQuery:
+    """A random connected acyclic query built from a random tree.
+
+    Each non-root atom shares one (sometimes two) fresh variables with its
+    parent atom; atoms independently gain an exclusive variable.  The
+    construction guarantees GYO-acyclicity: the tree itself is a join tree.
+    """
+    variable_counter = 0
+
+    def fresh() -> str:
+        nonlocal variable_counter
+        variable_counter += 1
+        return f"V{variable_counter}"
+
+    parents = [int(rng.integers(0, i)) if i else -1 for i in range(num_atoms)]
+    atom_vars: List[List[str]] = [[] for _ in range(num_atoms)]
+    for i in range(1, num_atoms):
+        shared = [fresh()]
+        if rng.random() < extra_shared_probability:
+            shared.append(fresh())
+        atom_vars[i].extend(shared)
+        atom_vars[parents[i]].extend(shared)
+    for i in range(num_atoms):
+        if not atom_vars[i] or rng.random() < exclusive_probability:
+            atom_vars[i].append(fresh())
+    atoms = [Atom(f"T{i}", tuple(atom_vars[i])) for i in range(num_atoms)]
+    return ConjunctiveQuery(atoms, name="Qrand")
+
+
+def random_path_query(
+    rng: np.random.Generator, length: int = 4
+) -> ConjunctiveQuery:
+    """A random path query ``R1(A0,A1), ..., Rm(Am-1,Am)``; endpoints may
+    drop their free attribute (unary ends, like TPC-H ``Region``)."""
+    atoms: List[Atom] = []
+    for i in range(length):
+        variables: List[str] = []
+        if i > 0:
+            variables.append(f"A{i}")
+        elif rng.random() < 0.7:
+            variables.append("A0")
+        if i < length - 1:
+            variables.append(f"A{i + 1}")
+        elif rng.random() < 0.7:
+            variables.append(f"A{length}")
+        if not variables:
+            variables.append(f"A{i}x")
+        atoms.append(Atom(f"P{i + 1}", tuple(variables)))
+    return ConjunctiveQuery(atoms, name="Qpath")
+
+
+def random_database(
+    query: ConjunctiveQuery,
+    rng: np.random.Generator,
+    domain_size: int = 3,
+    max_rows: int = 6,
+    allow_empty: bool = True,
+) -> Database:
+    """A random instance for ``query``: every attribute draws from a shared
+    integer domain of ``domain_size`` values; each relation gets up to
+    ``max_rows`` rows (possibly zero when ``allow_empty``)."""
+    relations: Dict[str, Relation] = {}
+    for atom in query.atoms:
+        low = 0 if allow_empty else 1
+        n_rows = int(rng.integers(low, max_rows + 1))
+        rows = [
+            tuple(int(rng.integers(0, domain_size)) for _ in atom.variables)
+            for _ in range(n_rows)
+        ]
+        relations[atom.relation] = Relation(list(atom.variables), rows)
+    return Database(relations)

@@ -1,0 +1,140 @@
+"""Synthetic TPC-H data generator (Sec. 7.1 "TPC-H").
+
+Substitution note (DESIGN.md): the paper generates data with ``dbgen``; we
+generate in-process with the same cardinality ratios at every scale factor:
+
+=========  =====================  ==========================
+relation   columns                rows at scale ``s``
+=========  =====================  ==========================
+Region     (RK)                   5
+Nation     (RK, NK)               25
+Supplier   (NK, SK)               10 000 · s
+Customer   (NK, CK)               150 000 · s
+Part       (PK)                   200 000 · s
+Partsupp   (SK, PK)               4 per part = 800 000 · s
+Orders     (CK, OK)               1 500 000 · s
+Lineitem   (OK, SK, PK)           1–7 per order (avg 4) ≈ 6 000 000 · s
+=========  =====================  ==========================
+
+Foreign keys mirror dbgen's: each nation belongs to a region, customers and
+suppliers to nations, orders to customers, partsupp pairs each part with
+four suppliers, and every lineitem references an existing order and an
+existing partsupp pair.  Join-key fan-outs are uniform, matching dbgen's
+uniform key draws — the statistic the sensitivity experiments depend on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.database import Database, ForeignKey
+from repro.engine.relation import Relation
+from repro.exceptions import MechanismConfigError
+
+#: Base cardinalities at scale factor 1 (Region/Nation are scale-free).
+BASE_CARDINALITIES = {
+    "Supplier": 10_000,
+    "Customer": 150_000,
+    "Part": 200_000,
+    "Orders": 1_500_000,
+}
+SUPPLIERS_PER_PART = 4
+MAX_LINES_PER_ORDER = 7
+NUM_REGIONS = 5
+NUM_NATIONS = 25
+
+
+def _scaled(base: int, scale: float) -> int:
+    return max(1, int(round(base * scale)))
+
+
+def generate_tpch(scale: float, seed: int = 0) -> Database:
+    """Generate a TPC-H-shaped database at the given scale factor.
+
+    Parameters
+    ----------
+    scale:
+        Scale factor; the paper sweeps {1e-4, 1e-3, 1e-2, 1e-1, 1, 2, 10}.
+        This pure-Python engine is comfortable up to ~1e-2 on a laptop.
+    seed:
+        PRNG seed; identical seeds give identical databases.
+
+    Returns a :class:`~repro.engine.database.Database` with primary and
+    foreign keys declared (used by the PrivSQL baseline's policy).
+    """
+    if scale <= 0:
+        raise MechanismConfigError(f"scale must be positive, got {scale}")
+    rng = np.random.default_rng(seed)
+
+    region_rows = [(rk,) for rk in range(NUM_REGIONS)]
+    nation_rows = [(nk % NUM_REGIONS, nk) for nk in range(NUM_NATIONS)]
+
+    n_supplier = _scaled(BASE_CARDINALITIES["Supplier"], scale)
+    supplier_nk = rng.integers(0, NUM_NATIONS, size=n_supplier)
+    supplier_rows = [(int(nk), sk) for sk, nk in enumerate(supplier_nk)]
+
+    n_customer = _scaled(BASE_CARDINALITIES["Customer"], scale)
+    customer_nk = rng.integers(0, NUM_NATIONS, size=n_customer)
+    customer_rows = [(int(nk), ck) for ck, nk in enumerate(customer_nk)]
+
+    n_part = _scaled(BASE_CARDINALITIES["Part"], scale)
+    part_rows = [(pk,) for pk in range(n_part)]
+
+    # Each part is supplied by SUPPLIERS_PER_PART distinct suppliers.
+    partsupp_rows: List[Tuple[int, int]] = []
+    part_suppliers: List[np.ndarray] = []
+    for pk in range(n_part):
+        count = min(SUPPLIERS_PER_PART, n_supplier)
+        suppliers = rng.choice(n_supplier, size=count, replace=False)
+        part_suppliers.append(suppliers)
+        partsupp_rows.extend((int(sk), pk) for sk in suppliers)
+
+    n_orders = _scaled(BASE_CARDINALITIES["Orders"], scale)
+    orders_ck = rng.integers(0, n_customer, size=n_orders)
+    orders_rows = [(int(ck), ok) for ok, ck in enumerate(orders_ck)]
+
+    lineitem_rows: List[Tuple[int, int, int]] = []
+    lines_per_order = rng.integers(1, MAX_LINES_PER_ORDER + 1, size=n_orders)
+    for ok in range(n_orders):
+        for _ in range(int(lines_per_order[ok])):
+            pk = int(rng.integers(0, n_part))
+            sk = int(rng.choice(part_suppliers[pk]))
+            lineitem_rows.append((ok, sk, pk))
+
+    relations = {
+        "Region": Relation(["RK"], region_rows),
+        "Nation": Relation(["RK", "NK"], nation_rows),
+        "Supplier": Relation(["NK", "SK"], supplier_rows),
+        "Customer": Relation(["NK", "CK"], customer_rows),
+        "Part": Relation(["PK"], part_rows),
+        "Partsupp": Relation(["SK", "PK"], partsupp_rows),
+        "Orders": Relation(["CK", "OK"], orders_rows),
+        "Lineitem": Relation(["OK", "SK", "PK"], lineitem_rows),
+    }
+    primary_keys = {
+        "Region": ("RK",),
+        "Nation": ("NK",),
+        "Supplier": ("SK",),
+        "Customer": ("CK",),
+        "Part": ("PK",),
+        "Partsupp": ("SK", "PK"),
+        "Orders": ("OK",),
+    }
+    foreign_keys = [
+        ForeignKey("Nation", ("RK",), "Region", ("RK",)),
+        ForeignKey("Supplier", ("NK",), "Nation", ("NK",)),
+        ForeignKey("Customer", ("NK",), "Nation", ("NK",)),
+        ForeignKey("Orders", ("CK",), "Customer", ("CK",)),
+        ForeignKey("Partsupp", ("SK",), "Supplier", ("SK",)),
+        ForeignKey("Partsupp", ("PK",), "Part", ("PK",)),
+        ForeignKey("Lineitem", ("OK",), "Orders", ("OK",)),
+        ForeignKey("Lineitem", ("SK", "PK"), "Partsupp", ("SK", "PK")),
+    ]
+    return Database(relations, primary_keys=primary_keys, foreign_keys=foreign_keys)
+
+
+def table_sizes(db: Database) -> Dict[str, int]:
+    """Bag cardinality per relation — handy in reports and tests."""
+    return {name: db.relation(name).total_count() for name in db.relation_names}

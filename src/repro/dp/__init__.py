@@ -1,0 +1,32 @@
+"""Differential privacy layer: primitives, truncation, TSensDP, PrivSQL."""
+
+from repro.dp.accountant import BudgetAccountant
+from repro.dp.flexdp import FlexDPOutcome, run_flex_dp, smooth_elastic_sensitivity
+from repro.dp.primitives import (
+    above_threshold,
+    laplace_confidence_radius,
+    laplace_mechanism,
+    laplace_noise,
+)
+from repro.dp.privsql import PrivSQLOutcome, affected_relations, run_privsql
+from repro.dp.truncation import TruncationOracle, tsens_truncate, tuple_sensitivities
+from repro.dp.tsensdp import TSensDPOutcome, run_tsens_dp
+
+__all__ = [
+    "BudgetAccountant",
+    "FlexDPOutcome",
+    "PrivSQLOutcome",
+    "TSensDPOutcome",
+    "TruncationOracle",
+    "above_threshold",
+    "affected_relations",
+    "laplace_confidence_radius",
+    "laplace_mechanism",
+    "laplace_noise",
+    "run_flex_dp",
+    "run_privsql",
+    "smooth_elastic_sensitivity",
+    "run_tsens_dp",
+    "tsens_truncate",
+    "tuple_sensitivities",
+]

@@ -1,0 +1,72 @@
+"""A simple sequential-composition privacy accountant.
+
+Pure ε-DP composes additively; the accountant tracks labelled spends
+against a total budget and refuses overdrafts.  The mechanisms in this
+package draw their budget through an accountant so experiments can assert,
+post hoc, that the advertised ε was respected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.exceptions import MechanismConfigError, PrivacyBudgetError
+
+
+@dataclass
+class BudgetAccountant:
+    """Tracks ε spends under sequential composition.
+
+    Parameters
+    ----------
+    total_epsilon:
+        The overall budget.  Spends beyond it raise
+        :class:`~repro.exceptions.PrivacyBudgetError`.
+    """
+
+    total_epsilon: float
+    _spends: List[Tuple[str, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.total_epsilon > 0:
+            raise MechanismConfigError(
+                f"total_epsilon must be positive, got {self.total_epsilon}"
+            )
+
+    @property
+    def spent(self) -> float:
+        """Total ε spent so far."""
+        return sum(amount for _, amount in self._spends)
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available."""
+        return self.total_epsilon - self.spent
+
+    def spend(self, epsilon: float, label: str = "") -> float:
+        """Record a spend of ``epsilon`` and return it.
+
+        A tiny tolerance absorbs floating-point drift from repeated halving.
+        """
+        if not epsilon > 0:
+            raise MechanismConfigError(f"spend must be positive, got {epsilon}")
+        if epsilon > self.remaining + 1e-12:
+            raise PrivacyBudgetError(
+                f"cannot spend ε={epsilon} ({label!r}); remaining {self.remaining}"
+            )
+        self._spends.append((label, epsilon))
+        return epsilon
+
+    def ledger(self) -> Dict[str, float]:
+        """Spends grouped by label."""
+        out: Dict[str, float] = {}
+        for label, amount in self._spends:
+            out[label] = out.get(label, 0.0) + amount
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"BudgetAccountant(total={self.total_epsilon}, spent={self.spent:.6g}, "
+            f"remaining={self.remaining:.6g})"
+        )

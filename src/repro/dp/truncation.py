@@ -1,0 +1,207 @@
+"""TSens truncation (Definition 6.4).
+
+``T_TSens(Q, D, i)`` keeps every tuple of the primary private relation whose
+tuple sensitivity is at most ``i`` (other relations pass through).  Two key
+facts the mechanism relies on:
+
+* the tuple sensitivities come straight from TSens's multiplicity tables —
+  no re-evaluation per tuple;
+* ``Q(T_TSens(Q, ·, τ))`` has global sensitivity ``τ``: a tuple with
+  sensitivity above ``τ`` is truncated before it can affect the count, and
+  any surviving tuple changes the count by at most its sensitivity ≤ τ.
+
+:class:`TruncationOracle` additionally caches the truncated counts: the
+count only changes when the threshold crosses one of the distinct
+sensitivity values present in the relation, so an SVT sweep over
+``i = 1..ℓ`` costs one evaluation per distinct level, not per ``i``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.database import Database
+from repro.engine.relation import Relation, Row
+from repro.evaluation.yannakakis import count_query
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.jointree import DecompositionTree
+from repro.core.api import local_sensitivity
+from repro.core.result import SensitivityResult
+from repro.exceptions import MechanismConfigError
+
+
+def tuple_sensitivities(
+    query: ConjunctiveQuery,
+    db: Database,
+    relation: str,
+    result: Optional[SensitivityResult] = None,
+    tree: Optional[DecompositionTree] = None,
+) -> Dict[Row, int]:
+    """``δ(t, Q, D)`` for every distinct tuple of ``relation``.
+
+    Looks each tuple up in the TSens multiplicity table (computing TSens
+    first when no ``result`` is supplied).  Tuples failing the query's
+    selection predicate, or not joining with the rest of the database,
+    get sensitivity 0.
+    """
+    if result is None:
+        result = local_sensitivity(query, db, tree=tree)
+    table = result.table(relation)
+    atom = query.atom(relation)
+    predicate = query.selections.get(relation)
+    sensitivities: Dict[Row, int] = {}
+    for row in db.relation(relation):
+        assignment = dict(zip(atom.variables, row))
+        if predicate is not None and not predicate(assignment):
+            sensitivities[row] = 0
+            continue
+        sensitivities[row] = table.sensitivity_of(assignment)
+    return sensitivities
+
+
+def tsens_truncate(
+    query: ConjunctiveQuery,
+    db: Database,
+    primary: str,
+    threshold: int,
+    result: Optional[SensitivityResult] = None,
+    tree: Optional[DecompositionTree] = None,
+) -> Database:
+    """``T_TSens(Q, D, threshold)`` — Definition 6.4.
+
+    Removes (all copies of) primary-relation tuples whose tuple sensitivity
+    exceeds ``threshold``; every other relation is untouched.
+    """
+    if threshold < 0:
+        raise MechanismConfigError(f"threshold must be >= 0, got {threshold}")
+    sensitivities = tuple_sensitivities(query, db, primary, result=result, tree=tree)
+    base = db.relation(primary)
+    kept = {
+        row: cnt
+        for row, cnt in base.items()
+        if sensitivities[row] <= threshold
+    }
+    return db.with_relation(primary, Relation._from_counts(base.schema, kept))
+
+
+class TruncationOracle:
+    """Caches ``|Q(T_TSens(Q, D, i))|`` across thresholds.
+
+    Parameters
+    ----------
+    query, db:
+        The query and instance.
+    primary:
+        The primary private relation being truncated.
+    tree:
+        Decomposition for both TSens and the count evaluations.
+    result:
+        A precomputed TSens result (must include the primary's table).
+    skip_relations:
+        Passed through to TSens when it must be computed here.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        db: Database,
+        primary: str,
+        tree: Optional[DecompositionTree] = None,
+        result: Optional[SensitivityResult] = None,
+        skip_relations: Tuple[str, ...] = (),
+    ):
+        self._query = query
+        self._db = db
+        self._primary = primary
+        self._tree = tree
+        if result is None:
+            result = local_sensitivity(
+                query, db, tree=tree, skip_relations=skip_relations
+            )
+        self.sensitivity_result = result
+        self._sensitivities = tuple_sensitivities(
+            query, db, primary, result=result, tree=tree
+        )
+        # Distinct sensitivity levels, ascending; thresholds between two
+        # levels produce identical truncations.
+        self._levels: List[int] = sorted(set(self._sensitivities.values()))
+        self._base_count = count_query(query, db, tree=tree)
+        # Because the primary relation appears exactly once in the query
+        # (no self-joins), every output tuple matches exactly one distinct
+        # primary row, and removing a row with multiplicity c and tuple
+        # sensitivity δ removes exactly c·δ outputs.  Truncated counts are
+        # therefore base − Σ_{δ(r) > i} mult(r)·δ(r): precompute the
+        # removed-output mass per level and its suffix sums.
+        base_relation = db.relation(primary)
+        mass_per_level: Dict[int, int] = {}
+        for row, cnt in base_relation.items():
+            level = self._sensitivities[row]
+            mass_per_level[level] = mass_per_level.get(level, 0) + cnt * level
+        self._suffix_removed: List[int] = [0] * (len(self._levels) + 1)
+        for index in range(len(self._levels) - 1, -1, -1):
+            self._suffix_removed[index] = self._suffix_removed[index + 1] + (
+                mass_per_level.get(self._levels[index], 0)
+            )
+
+    @property
+    def local_sensitivity(self) -> int:
+        """``LS(Q, D)`` as computed by TSens."""
+        return self.sensitivity_result.local_sensitivity
+
+    @property
+    def base_count(self) -> int:
+        """``|Q(D)|`` on the untruncated database."""
+        return self._base_count
+
+    @property
+    def max_primary_sensitivity(self) -> int:
+        """Largest tuple sensitivity among the primary's existing tuples."""
+        return self._levels[-1] if self._levels else 0
+
+    def _level_key(self, threshold: int) -> int:
+        """Index of the highest level ≤ threshold (−1 when all exceed)."""
+        return bisect_right(self._levels, threshold) - 1
+
+    def truncated_database(self, threshold: int) -> Database:
+        """``T_TSens(Q, D, threshold)`` (uncached; use for final answers)."""
+        base = self._db.relation(self._primary)
+        kept = {
+            row: cnt
+            for row, cnt in base.items()
+            if self._sensitivities[row] <= threshold
+        }
+        return self._db.with_relation(
+            self._primary, Relation._from_counts(base.schema, kept)
+        )
+
+    def truncated_count(self, threshold: int) -> int:
+        """``|Q(T_TSens(Q, D, threshold))|`` in O(log #levels).
+
+        Uses the suffix-sum decomposition (see ``__init__``); the
+        equivalence with a full re-evaluation on the truncated database is
+        covered by property tests.
+        """
+        key = self._level_key(threshold)
+        return self._base_count - self._suffix_removed[key + 1]
+
+    def truncated_count_reevaluated(self, threshold: int) -> int:
+        """``|Q(T_TSens(Q, D, threshold))|`` by actually re-running the
+        query on the truncated database — the cross-check for
+        :meth:`truncated_count`."""
+        return count_query(
+            self._query, self.truncated_database(threshold), tree=self._tree
+        )
+
+    def truncated_fraction(self, threshold: int) -> float:
+        """Fraction of primary tuples (bag-weighted) removed at ``threshold``."""
+        base = self._db.relation(self._primary)
+        total = base.total_count()
+        if total == 0:
+            return 0.0
+        removed = sum(
+            cnt
+            for row, cnt in base.items()
+            if self._sensitivities[row] > threshold
+        )
+        return removed / total

@@ -1,0 +1,35 @@
+"""Bag-semantics relational engine: the substrate the paper's algorithms run on."""
+
+from repro.engine.database import Database, ForeignKey
+from repro.engine.operators import (
+    cross_product,
+    difference,
+    group_by,
+    join,
+    join_all,
+    project,
+    select,
+    semijoin,
+    symmetric_difference_size,
+    union_all,
+)
+from repro.engine.relation import Relation, empty_like
+from repro.engine.schema import Schema
+
+__all__ = [
+    "Database",
+    "ForeignKey",
+    "Relation",
+    "Schema",
+    "cross_product",
+    "difference",
+    "empty_like",
+    "group_by",
+    "join",
+    "join_all",
+    "project",
+    "select",
+    "semijoin",
+    "symmetric_difference_size",
+    "union_all",
+]

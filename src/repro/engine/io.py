@@ -1,0 +1,204 @@
+"""Loading and saving relations and databases (CSV and JSON).
+
+A downstream user's data lives in files, not Python literals.  This module
+round-trips the engine's bag relations through two formats:
+
+* **CSV** — one file per relation; a header row of attribute names, one
+  line per tuple *occurrence* (duplicates encode multiplicity).  An
+  optional reserved ``__count__`` column stores multiplicities compactly.
+* **JSON** — a whole database in one document, including primary/foreign
+  key metadata, so PrivSQL policies survive the round trip.
+
+Values are strings after a CSV round trip unless a per-column converter is
+supplied; JSON preserves ints/floats/strings natively.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.engine.database import Database, ForeignKey
+from repro.engine.relation import Relation
+from repro.exceptions import SchemaError
+
+COUNT_COLUMN = "__count__"
+
+PathLike = Union[str, Path]
+Converter = Callable[[str], object]
+
+
+def read_relation_csv(
+    path: PathLike,
+    converters: Optional[Mapping[str, Converter]] = None,
+) -> Relation:
+    """Load a bag relation from a CSV file.
+
+    The header names the attributes; a ``__count__`` column, if present,
+    holds per-row multiplicities (rows may still repeat — counts add).
+    ``converters`` maps attribute name to a value parser (e.g. ``int``).
+    """
+    path = Path(path)
+    converters = dict(converters or {})
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty; expected a header row") from None
+        if COUNT_COLUMN in header:
+            count_index = header.index(COUNT_COLUMN)
+            attributes = [h for h in header if h != COUNT_COLUMN]
+        else:
+            count_index = None
+            attributes = list(header)
+        value_indices = [i for i, h in enumerate(header) if h != COUNT_COLUMN]
+        parsers = [converters.get(attr) for attr in attributes]
+
+        counts: Dict[tuple, int] = {}
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"{path}:{line_number}: expected {len(header)} fields, "
+                    f"got {len(row)}"
+                )
+            values = []
+            for parser, index in zip(parsers, value_indices):
+                raw = row[index]
+                values.append(parser(raw) if parser else raw)
+            multiplicity = 1
+            if count_index is not None:
+                try:
+                    multiplicity = int(row[count_index])
+                except ValueError:
+                    raise SchemaError(
+                        f"{path}:{line_number}: bad {COUNT_COLUMN} value "
+                        f"{row[count_index]!r}"
+                    ) from None
+                if multiplicity < 0:
+                    raise SchemaError(
+                        f"{path}:{line_number}: negative multiplicity"
+                    )
+            key = tuple(values)
+            counts[key] = counts.get(key, 0) + multiplicity
+        counts = {row: cnt for row, cnt in counts.items() if cnt}
+        return Relation(attributes, counts)
+
+
+def write_relation_csv(
+    relation: Relation, path: PathLike, expand_counts: bool = False
+) -> None:
+    """Write a bag relation to CSV.
+
+    With ``expand_counts`` each occurrence becomes its own line (plain CSV
+    consumers see the bag); otherwise a ``__count__`` column keeps the file
+    compact.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        if expand_counts:
+            writer.writerow(relation.attributes)
+            for row, cnt in sorted(relation.items(), key=repr):
+                for _ in range(cnt):
+                    writer.writerow(row)
+        else:
+            writer.writerow(list(relation.attributes) + [COUNT_COLUMN])
+            for row, cnt in sorted(relation.items(), key=repr):
+                writer.writerow(list(row) + [cnt])
+
+
+def database_to_json(db: Database) -> Dict[str, object]:
+    """A JSON-serialisable dict capturing relations and key metadata."""
+    relations = {}
+    for name in db.relation_names:
+        relation = db.relation(name)
+        relations[name] = {
+            "attributes": list(relation.attributes),
+            "rows": [
+                [list(row), cnt]
+                for row, cnt in sorted(relation.items(), key=repr)
+            ],
+        }
+    primary_keys = {
+        name: list(db.primary_key(name) or ())
+        for name in db.relation_names
+        if db.primary_key(name)
+    }
+    foreign_keys = [
+        {
+            "child": fk.child,
+            "child_attributes": list(fk.child_attributes),
+            "parent": fk.parent,
+            "parent_attributes": list(fk.parent_attributes),
+        }
+        for fk in db.foreign_keys
+    ]
+    return {
+        "relations": relations,
+        "primary_keys": primary_keys,
+        "foreign_keys": foreign_keys,
+    }
+
+
+def database_from_json(document: Mapping[str, object]) -> Database:
+    """Inverse of :func:`database_to_json`."""
+    raw_relations = document.get("relations")
+    if not isinstance(raw_relations, Mapping) or not raw_relations:
+        raise SchemaError("JSON document has no relations")
+    relations = {}
+    for name, payload in raw_relations.items():
+        attributes = payload["attributes"]
+        counts = {tuple(row): int(cnt) for row, cnt in payload["rows"]}
+        relations[name] = Relation(attributes, counts)
+    primary_keys = {
+        name: tuple(attrs)
+        for name, attrs in (document.get("primary_keys") or {}).items()
+    }
+    foreign_keys = [
+        ForeignKey(
+            child=fk["child"],
+            child_attributes=tuple(fk["child_attributes"]),
+            parent=fk["parent"],
+            parent_attributes=tuple(fk["parent_attributes"]),
+        )
+        for fk in document.get("foreign_keys") or []
+    ]
+    return Database(relations, primary_keys=primary_keys, foreign_keys=foreign_keys)
+
+
+def save_database(db: Database, path: PathLike) -> None:
+    """Write a whole database (with key metadata) to one JSON file."""
+    path = Path(path)
+    with path.open("w") as handle:
+        json.dump(database_to_json(db), handle, indent=1)
+
+
+def load_database(path: PathLike) -> Database:
+    """Load a database saved by :func:`save_database`."""
+    path = Path(path)
+    with path.open() as handle:
+        return database_from_json(json.load(handle))
+
+
+def load_database_csv_dir(
+    directory: PathLike,
+    converters: Optional[Mapping[str, Mapping[str, Converter]]] = None,
+) -> Database:
+    """Load every ``*.csv`` in a directory as one database.
+
+    The file stem becomes the relation name; ``converters`` maps relation
+    name to its per-column converter mapping.  Key metadata cannot be
+    expressed in CSV — declare it separately or use the JSON format.
+    """
+    directory = Path(directory)
+    converters = dict(converters or {})
+    relations = {}
+    for csv_path in sorted(directory.glob("*.csv")):
+        name = csv_path.stem
+        relations[name] = read_relation_csv(csv_path, converters.get(name))
+    if not relations:
+        raise SchemaError(f"no .csv files found in {directory}")
+    return Database(relations)

@@ -1,0 +1,186 @@
+"""Relational operators over bag-semantics relations.
+
+These are the building blocks the paper's algorithms are written in:
+
+* :func:`join` — the paper's ``r̃join``: a natural join where the output
+  multiplicity of a combined tuple is the *product* of input multiplicities.
+* :func:`group_by` — the paper's ``γ_A``: project onto ``A`` and *sum*
+  multiplicities into the new count.
+* :func:`semijoin` — Yannakakis-style reducer.
+* :func:`select`, :func:`project`, :func:`cross_product`, :func:`union_all`,
+  :func:`difference` — standard bag operators used by tests, baselines and
+  the naive algorithm.
+
+All joins are hash joins on the common attributes; when there are no common
+attributes :func:`join` degenerates into a cross product, which is what the
+paper's ``r̃join`` of attribute-disjoint topjoins/botjoins requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.engine.relation import Relation, Row
+from repro.engine.schema import Schema
+from repro.exceptions import SchemaError
+
+
+def join(left: Relation, right: Relation) -> Relation:
+    """Natural join multiplying multiplicities (the paper's ``r̃join``).
+
+    The output schema is ``left``'s attributes followed by ``right``'s
+    attributes not already present.  Output multiplicity of a combined row
+    is ``left_count * right_count`` summed over all ways of producing it.
+    """
+    common = left.schema.common(right.schema)
+    if not common:
+        return cross_product(left, right)
+
+    left_key = left.schema.project_positions(common)
+    right_key = right.schema.project_positions(common)
+    right_extra = tuple(
+        i for i, a in enumerate(right.attributes) if a not in set(left.attributes)
+    )
+    out_schema = left.schema.union(right.schema)
+
+    # Build hash index on the smaller side for speed; probe with the larger.
+    if right.distinct_count() <= left.distinct_count():
+        index: Dict[Row, List[Tuple[Row, int]]] = {}
+        for row, cnt in right.items():
+            key = tuple(row[p] for p in right_key)
+            index.setdefault(key, []).append((row, cnt))
+        out: Dict[Row, int] = {}
+        for lrow, lcnt in left.items():
+            key = tuple(lrow[p] for p in left_key)
+            for rrow, rcnt in index.get(key, ()):
+                combined = lrow + tuple(rrow[p] for p in right_extra)
+                out[combined] = out.get(combined, 0) + lcnt * rcnt
+    else:
+        index = {}
+        for row, cnt in left.items():
+            key = tuple(row[p] for p in left_key)
+            index.setdefault(key, []).append((row, cnt))
+        out = {}
+        for rrow, rcnt in right.items():
+            key = tuple(rrow[p] for p in right_key)
+            extra = tuple(rrow[p] for p in right_extra)
+            for lrow, lcnt in index.get(key, ()):
+                combined = lrow + extra
+                out[combined] = out.get(combined, 0) + lcnt * rcnt
+    return Relation._from_counts(out_schema, out)
+
+
+def join_all(relations: Sequence[Relation]) -> Relation:
+    """Left-deep ``r̃join`` of a non-empty sequence of relations."""
+    if not relations:
+        raise SchemaError("join_all requires at least one relation")
+    result = relations[0]
+    for rel in relations[1:]:
+        result = join(result, rel)
+    return result
+
+
+def cross_product(left: Relation, right: Relation) -> Relation:
+    """Bag cross product (multiplicities multiply)."""
+    overlap = left.schema.common(right.schema)
+    if overlap:
+        raise SchemaError(f"cross product with overlapping attributes {overlap}")
+    out_schema = left.schema.union(right.schema)
+    out: Dict[Row, int] = {}
+    for lrow, lcnt in left.items():
+        for rrow, rcnt in right.items():
+            out[lrow + rrow] = lcnt * rcnt
+    return Relation._from_counts(out_schema, out)
+
+
+def group_by(relation: Relation, attributes: Sequence[str]) -> Relation:
+    """The paper's ``γ_A``: project onto ``attributes`` summing counts.
+
+    An empty attribute list yields a zero-arity relation whose single
+    tuple's multiplicity is the bag cardinality — useful for counting.
+    """
+    positions = relation.schema.project_positions(attributes)
+    out: Dict[Row, int] = {}
+    for row, cnt in relation.items():
+        key = tuple(row[p] for p in positions)
+        out[key] = out.get(key, 0) + cnt
+    return Relation._from_counts(Schema(attributes), out)
+
+
+def project(relation: Relation, attributes: Sequence[str]) -> Relation:
+    """Alias of :func:`group_by` — bag projection sums multiplicities."""
+    return group_by(relation, attributes)
+
+
+def select(
+    relation: Relation, predicate: Callable[[Mapping[str, object]], bool]
+) -> Relation:
+    """Bag selection σ: keep tuples whose attribute-dict satisfies the predicate."""
+    return relation.filter(predicate)
+
+
+def semijoin(left: Relation, right: Relation) -> Relation:
+    """Keep ``left`` tuples that join with at least one ``right`` tuple.
+
+    Multiplicities of the surviving tuples are unchanged — this is the
+    reducer step of Yannakakis's algorithm, not a counting join.
+    """
+    common = left.schema.common(right.schema)
+    if not common:
+        return left if not right.is_empty() else Relation(left.schema, ())
+    left_key = left.schema.project_positions(common)
+    right_key = right.schema.project_positions(common)
+    present = {tuple(row[p] for p in right_key) for row in right}
+    out = {
+        row: cnt
+        for row, cnt in left.items()
+        if tuple(row[p] for p in left_key) in present
+    }
+    return Relation._from_counts(left.schema, out)
+
+
+def union_all(relations: Iterable[Relation]) -> Relation:
+    """Bag union (multiplicities add).  All schemas must match exactly."""
+    relations = list(relations)
+    if not relations:
+        raise SchemaError("union_all requires at least one relation")
+    schema = relations[0].schema
+    out: Dict[Row, int] = {}
+    for rel in relations:
+        if rel.schema != schema:
+            raise SchemaError(f"union_all schema mismatch: {rel.schema} vs {schema}")
+        for row, cnt in rel.items():
+            out[row] = out.get(row, 0) + cnt
+    return Relation._from_counts(schema, out)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Bag difference ``left ∸ right`` (monus: counts floor at zero)."""
+    if left.schema != right.schema:
+        raise SchemaError(f"difference schema mismatch: {left.schema} vs {right.schema}")
+    out: Dict[Row, int] = {}
+    for row, cnt in left.items():
+        remaining = cnt - right.multiplicity(row)
+        if remaining > 0:
+            out[row] = remaining
+    return Relation._from_counts(left.schema, out)
+
+
+def symmetric_difference_size(left: Relation, right: Relation) -> int:
+    """``|left Δ right|`` under bag semantics: sum of |count deltas|.
+
+    This is the quantity in the paper's Definition 2.1 of tuple sensitivity,
+    ``|Q(D ∪ {t}) Δ Q(D)|``.
+    """
+    if set(left.attributes) != set(right.attributes):
+        raise SchemaError("symmetric difference over different attribute sets")
+    positions = right.schema.project_positions(left.attributes)
+    right_counts: Dict[Row, int] = {}
+    for row, cnt in right.items():
+        key = tuple(row[p] for p in positions)
+        right_counts[key] = right_counts.get(key, 0) + cnt
+    total = 0
+    for row, cnt in left.items():
+        total += abs(cnt - right_counts.pop(row, 0))
+    total += sum(right_counts.values())
+    return total

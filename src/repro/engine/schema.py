@@ -1,0 +1,108 @@
+"""Relation schemas: ordered, named attribute lists.
+
+A :class:`Schema` is an immutable ordered sequence of attribute names.  The
+engine stores tuples positionally, so the schema is the single source of
+truth for which position holds which attribute.  Natural joins, projections
+and group-bys all consult the schema to translate attribute names into tuple
+positions exactly once per operation, then work on plain Python tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.exceptions import SchemaError, UnknownAttributeError
+
+
+class Schema:
+    """An immutable ordered list of distinct attribute names.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names in positional order.  Names must be non-empty
+        strings and must not repeat.
+
+    Examples
+    --------
+    >>> s = Schema(["A", "B"])
+    >>> s.index_of("B")
+    1
+    >>> s.project_positions(["B"])
+    (1,)
+    """
+
+    __slots__ = ("_attributes", "_positions")
+
+    def __init__(self, attributes: Iterable[str]):
+        attrs = tuple(attributes)
+        for name in attrs:
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"attribute names must be non-empty strings, got {name!r}")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"duplicate attribute names in schema: {attrs}")
+        self._attributes: Tuple[str, ...] = attrs
+        self._positions = {name: i for i, name in enumerate(attrs)}
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The attribute names in positional order."""
+        return self._attributes
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self._attributes)
+
+    def index_of(self, attribute: str) -> int:
+        """Return the position of ``attribute``.
+
+        Raises :class:`~repro.exceptions.UnknownAttributeError` if absent.
+        """
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise UnknownAttributeError(attribute, where=f"schema {self._attributes}") from None
+
+    def project_positions(self, attributes: Sequence[str]) -> Tuple[int, ...]:
+        """Positions of ``attributes``, in the order given."""
+        return tuple(self.index_of(a) for a in attributes)
+
+    def common(self, other: "Schema") -> Tuple[str, ...]:
+        """Attributes shared with ``other``, in *this* schema's order."""
+        other_set = set(other._attributes)
+        return tuple(a for a in self._attributes if a in other_set)
+
+    def union(self, other: "Schema") -> "Schema":
+        """Schema of the natural join: this schema followed by the
+        attributes of ``other`` that are not already present."""
+        mine = set(self._attributes)
+        return Schema(self._attributes + tuple(a for a in other._attributes if a not in mine))
+
+    def restricted_to(self, attributes: Iterable[str]) -> "Schema":
+        """Sub-schema keeping only ``attributes``, preserving this order."""
+        keep = set(attributes)
+        unknown = keep - set(self._attributes)
+        if unknown:
+            raise UnknownAttributeError(sorted(unknown)[0], where=f"schema {self._attributes}")
+        return Schema(a for a in self._attributes if a in keep)
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._positions
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._attributes)!r})"

@@ -1,0 +1,27 @@
+"""Query evaluation over decomposition trees (Yannakakis-style)."""
+
+from repro.evaluation.yannakakis import (
+    BoundTree,
+    bind,
+    compute_botjoins,
+    count_bound,
+    count_query,
+    default_tree,
+    evaluate_bound,
+    evaluate_query,
+    naive_join,
+    semijoin_reduce,
+)
+
+__all__ = [
+    "BoundTree",
+    "bind",
+    "compute_botjoins",
+    "count_bound",
+    "count_query",
+    "default_tree",
+    "evaluate_bound",
+    "evaluate_query",
+    "naive_join",
+    "semijoin_reduce",
+]

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch a single base class.  Sub-classes are grouped by the layer that raises
+them (schema/engine, query analysis, sensitivity algorithms, privacy).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A relation or database was built with an inconsistent schema.
+
+    Raised for duplicate attribute names, arity mismatches between a schema
+    and a tuple, or attempts to combine relations whose shared attributes
+    disagree on position conventions.
+    """
+
+
+class UnknownRelationError(ReproError):
+    """A query or operation referenced a relation not present in the database."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown relation: {name!r}")
+        self.name = name
+
+
+class UnknownAttributeError(ReproError):
+    """An operation referenced an attribute not present in the schema."""
+
+    def __init__(self, attribute: str, where: str = ""):
+        suffix = f" in {where}" if where else ""
+        super().__init__(f"unknown attribute: {attribute!r}{suffix}")
+        self.attribute = attribute
+
+
+class QueryStructureError(ReproError):
+    """A query does not satisfy the structural requirements of an algorithm.
+
+    Examples: running the path-join algorithm on a non-path query, running
+    plain TSens on a cyclic query without a hypertree decomposition, or a
+    query with self-joins (unsupported by the paper's algorithms).
+    """
+
+
+class NotAcyclicError(QueryStructureError):
+    """GYO decomposition did not empty the hypergraph: the query is cyclic."""
+
+
+class SelfJoinError(QueryStructureError):
+    """The query repeats a base relation; the paper's algorithms exclude this."""
+
+
+class DecompositionError(QueryStructureError):
+    """A supplied (generalized) hypertree decomposition is invalid."""
+
+
+class ParseError(ReproError):
+    """A datalog-style query string could not be parsed."""
+
+
+class PrivacyBudgetError(ReproError):
+    """A mechanism was asked to spend more privacy budget than it holds."""
+
+
+class MechanismConfigError(ReproError):
+    """A DP mechanism received inconsistent configuration parameters."""

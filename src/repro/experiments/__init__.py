@@ -1,0 +1,28 @@
+"""Experiment harness: one module per paper table/figure (see DESIGN.md)."""
+
+from repro.experiments import fig6a, fig6b, fig7, param_analysis, table1, table2
+from repro.experiments.reporting import format_table, median, ratio
+from repro.experiments.runner import (
+    WorkloadMeasurement,
+    facebook_database,
+    measure_workload,
+    timed,
+    tpch_database,
+)
+
+__all__ = [
+    "WorkloadMeasurement",
+    "facebook_database",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "format_table",
+    "measure_workload",
+    "median",
+    "param_analysis",
+    "ratio",
+    "table1",
+    "table2",
+    "timed",
+    "tpch_database",
+]

@@ -1,0 +1,98 @@
+"""Experiment E6 — Sec. 7.3 parameter analysis: the ℓ sweep for q★.
+
+TSensDP takes a public upper bound ℓ on tuple sensitivity.  Privacy holds
+for any ℓ; accuracy does not.  The paper sweeps
+ℓ ∈ {1, 10, 30, 50, 100, 1000} on the star query (true local sensitivity
+13 in their instance) and observes a sweet spot: too-small ℓ forces heavy
+truncation (bias), too-large ℓ inflates the noise on the SVT estimate so
+the learned threshold — and hence the final noise — drifts.
+
+This module reruns that sweep on our q★ instance, reporting the median
+learned threshold, relative bias and relative error over ``n_runs`` runs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.dp.truncation import TruncationOracle
+from repro.dp.tsensdp import run_tsens_dp
+from repro.experiments.reporting import format_table, median
+from repro.experiments.runner import facebook_database
+from repro.workloads.facebook_queries import star_workload
+
+#: The paper's sweep {1, 10, 30, 50, 100, 1000} extended upward: our
+#: synthetic q★ instance has a larger true local sensitivity than the
+#: paper's (see EXPERIMENTS.md), so the over-estimate degradation the paper
+#: observes at ℓ=1000 appears here at the two added points.
+DEFAULT_BOUNDS = (1, 10, 30, 50, 100, 1000, 10_000, 100_000)
+DEFAULT_RUNS = 20
+DEFAULT_EPSILON = 1.0
+
+
+def run(
+    bounds: Sequence[int] = DEFAULT_BOUNDS,
+    epsilon: float = DEFAULT_EPSILON,
+    n_runs: int = DEFAULT_RUNS,
+    seed: int = 0,
+) -> List[Mapping[str, object]]:
+    """Run the ℓ sweep; one row per bound."""
+    workload = star_workload()
+    db = workload.prepared(facebook_database(seed))
+    assert workload.primary is not None
+    oracle = TruncationOracle(
+        query=workload.query, db=db, primary=workload.primary, tree=workload.tree
+    )
+    rng = np.random.default_rng(seed)
+    rows: List[Mapping[str, object]] = []
+    for ell in bounds:
+        outcomes = []
+        for _ in range(n_runs):
+            outcomes.append(
+                run_tsens_dp(
+                    workload.query,
+                    db,
+                    primary=workload.primary,
+                    epsilon=epsilon,
+                    ell=ell,
+                    tree=workload.tree,
+                    oracle=oracle,
+                    rng=rng,
+                )
+            )
+        rows.append(
+            {
+                "ell": ell,
+                "true_local_sensitivity": oracle.local_sensitivity,
+                "median_tau": median(o.tau for o in outcomes),
+                "median_rel_bias": median(o.relative_bias for o in outcomes),
+                "median_rel_error": median(o.relative_error for o in outcomes),
+            }
+        )
+    return rows
+
+
+def report(rows: Sequence[Mapping[str, object]]) -> str:
+    """Text rendering of the ℓ sweep."""
+    return format_table(
+        rows,
+        columns=[
+            "ell",
+            "true_local_sensitivity",
+            "median_tau",
+            "median_rel_bias",
+            "median_rel_error",
+        ],
+        title="Parameter analysis — ℓ sweep for q★ (TSensDP)",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,79 @@
+"""Plain-text report formatting for experiment outputs.
+
+Every experiment module renders its rows through :func:`format_table` so
+the harness prints the same kind of rows/series the paper's tables and
+figures report, ready to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_value(value: object) -> str:
+    """Human-friendly cell rendering: compact floats, thousands-grouped
+    ints, pass-through strings."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        The data; each row maps column name to value.
+    columns:
+        Column order (defaults to the first row's key order).
+    title:
+        Optional heading printed above the table.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        rendered.append([format_value(row.get(c, "")) for c in columns])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(rendered[0]))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row_cells in rendered[1:]:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row_cells)))
+    return "\n".join(lines)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` guarding division by zero (returns inf)."""
+    if denominator == 0:
+        return float("inf")
+    return numerator / denominator
+
+
+def median(values: Iterable[float]) -> float:
+    """Median without numpy (keeps experiment rows plain)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of empty sequence")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0

@@ -1,0 +1,180 @@
+"""Experiment E5 — Table 2: DP query answering, TSensDP vs PrivSQL.
+
+For each of the seven workloads, run both mechanisms ``n_runs`` times and
+report the medians of relative error, relative bias and global sensitivity
+plus the mean wall-clock time — the paper's Table 2 columns.  Budget
+handling follows Sec. 7.3: both mechanisms split ε in two halves
+(threshold learning / answering), PrivSQL's synopsis stage is disabled,
+negative releases clamp to 0, and the TSens multiplicity tables are
+computed once per workload and shared across repetitions (the paper's
+timing likewise amortises the sensitivity pass).
+
+Shape claims asserted by the integration tests: TSensDP achieves small
+relative error on every query, while PrivSQL collapses (≥ 99% error) on the
+queries where its frequency-based bound or truncation explodes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.dp.privsql import run_privsql
+from repro.dp.truncation import TruncationOracle
+from repro.dp.tsensdp import run_tsens_dp
+from repro.experiments.reporting import format_table, median
+from repro.experiments.runner import facebook_database, tpch_database
+from repro.workloads.base import Workload
+from repro.workloads.facebook_queries import facebook_workloads
+from repro.workloads.tpch_queries import tpch_workloads
+
+DEFAULT_TPCH_SCALE = 0.001
+DEFAULT_EPSILON = 1.0
+DEFAULT_RUNS = 20
+
+
+def loose_bound(max_primary_sensitivity: int, floor: int) -> int:
+    """A "public" tuple-sensitivity upper bound of paper-like looseness.
+
+    The paper assumes per-query bounds roughly 2–8× the true value for its
+    instances (Sec. 7.3).  Our synthetic instances have different absolute
+    sensitivities, so a fixed number would either truncate everything or
+    nothing; instead we take the paper's value as a floor and otherwise
+    round ``2 × max primary tuple sensitivity`` up to the next power of
+    two — the same looseness class, portable across instances.
+    """
+    target = 2 * max(1, max_primary_sensitivity)
+    bound = 1
+    while bound < target:
+        bound *= 2
+    return max(floor, bound)
+
+
+def _run_workload(
+    workload: Workload,
+    base,
+    epsilon: float,
+    n_runs: int,
+    seed: int,
+) -> List[Mapping[str, object]]:
+    db = workload.prepared(base)
+    assert workload.primary is not None
+    rng = np.random.default_rng(seed)
+
+    # TSensDP: one sensitivity pass, n_runs noisy releases.
+    start = time.perf_counter()
+    oracle = TruncationOracle(
+        query=workload.query,
+        db=db,
+        primary=workload.primary,
+        tree=workload.tree,
+        skip_relations=workload.skip_relations,
+    )
+    oracle_seconds = time.perf_counter() - start
+    ell = loose_bound(oracle.max_primary_sensitivity, floor=workload.ell)
+    tsens_outcomes = []
+    tsens_seconds = []
+    for _ in range(n_runs):
+        start = time.perf_counter()
+        tsens_outcomes.append(
+            run_tsens_dp(
+                workload.query,
+                db,
+                primary=workload.primary,
+                epsilon=epsilon,
+                ell=ell,
+                tree=workload.tree,
+                oracle=oracle,
+                rng=rng,
+            )
+        )
+        tsens_seconds.append(time.perf_counter() - start)
+
+    privsql_outcomes = []
+    privsql_seconds = []
+    for _ in range(n_runs):
+        start = time.perf_counter()
+        privsql_outcomes.append(
+            run_privsql(
+                workload.query,
+                db,
+                primary=workload.primary,
+                epsilon=epsilon,
+                tree=workload.tree,
+                rng=rng,
+            )
+        )
+        privsql_seconds.append(time.perf_counter() - start)
+
+    true_count = tsens_outcomes[0].true_count
+    return [
+        {
+            "query": workload.name,
+            "true_count": true_count,
+            "mechanism": "TSensDP",
+            "ell": ell,
+            "median_rel_error": median(o.relative_error for o in tsens_outcomes),
+            "median_rel_bias": median(o.relative_bias for o in tsens_outcomes),
+            "median_global_sens": median(o.global_sensitivity for o in tsens_outcomes),
+            "mean_seconds": oracle_seconds / n_runs + sum(tsens_seconds) / n_runs,
+        },
+        {
+            "query": workload.name,
+            "true_count": true_count,
+            "mechanism": "PrivSQL",
+            "median_rel_error": median(o.relative_error for o in privsql_outcomes),
+            "median_rel_bias": median(o.relative_bias for o in privsql_outcomes),
+            "median_global_sens": median(o.global_sensitivity for o in privsql_outcomes),
+            "mean_seconds": sum(privsql_seconds) / n_runs,
+        },
+    ]
+
+
+def run(
+    tpch_scale: float = DEFAULT_TPCH_SCALE,
+    epsilon: float = DEFAULT_EPSILON,
+    n_runs: int = DEFAULT_RUNS,
+    seed: int = 0,
+    queries: Optional[Sequence[str]] = None,
+) -> List[Mapping[str, object]]:
+    """Run the Table 2 comparison over all seven workloads."""
+    rows: List[Mapping[str, object]] = []
+    tpch_base = tpch_database(tpch_scale, seed)
+    for workload in tpch_workloads():
+        if queries is not None and workload.name not in queries:
+            continue
+        rows.extend(_run_workload(workload, tpch_base, epsilon, n_runs, seed))
+    fb_base = facebook_database(seed)
+    for workload in facebook_workloads():
+        if queries is not None and workload.name not in queries:
+            continue
+        rows.extend(_run_workload(workload, fb_base, epsilon, n_runs, seed))
+    return rows
+
+
+def report(rows: Sequence[Mapping[str, object]]) -> str:
+    """Text rendering of Table 2."""
+    return format_table(
+        rows,
+        columns=[
+            "query",
+            "true_count",
+            "mechanism",
+            "ell",
+            "median_rel_error",
+            "median_rel_bias",
+            "median_global_sens",
+            "mean_seconds",
+        ],
+        title="Table 2 — DP answering: TSensDP vs PrivSQL",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

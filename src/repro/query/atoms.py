@@ -1,0 +1,59 @@
+"""Query atoms.
+
+An :class:`Atom` is one relational occurrence in the body of a conjunctive
+query: a relation name plus the ordered list of query variables (attribute
+names) it binds.  The paper's queries are *full* CQs without self-joins, so
+each relation name appears at most once and the head contains every
+variable; those restrictions are enforced by
+:class:`repro.query.conjunctive.ConjunctiveQuery`, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One body atom ``relation(variables...)``.
+
+    Parameters
+    ----------
+    relation:
+        Name of the base relation in the database.
+    variables:
+        Query variables bound positionally to the relation's columns.
+        Repeated variables inside one atom (e.g. ``R(x, x)``) are not
+        supported, matching the paper's natural-join semantics.
+    """
+
+    relation: str
+    variables: Tuple[str, ...]
+
+    def __init__(self, relation: str, variables):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "variables", tuple(variables))
+        if not self.relation:
+            raise SchemaError("atom relation name must be non-empty")
+        if len(set(self.variables)) != len(self.variables):
+            raise SchemaError(
+                f"atom {self.relation}{self.variables} repeats a variable; "
+                "repeated variables within one atom are not supported"
+            )
+        if not self.variables:
+            raise SchemaError(f"atom {self.relation} binds no variables")
+
+    @property
+    def variable_set(self) -> FrozenSet[str]:
+        """The variables as a frozenset (hyperedge of the query hypergraph)."""
+        return frozenset(self.variables)
+
+    @property
+    def arity(self) -> int:
+        return len(self.variables)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.variables)})"

@@ -1,0 +1,110 @@
+"""GYO (Graham–Yu–Ozsoyoglu) decomposition (Sec. 2.2).
+
+The GYO algorithm repeatedly finds an *ear*: a hyperedge whose vertices
+split into (i) vertices exclusive to that edge and (ii) vertices fully
+contained in some other edge (the *witness*).  Removing ears until the
+hypergraph is empty certifies acyclicity and, by recording each ear's
+witness, yields a join tree.
+
+:func:`gyo_join_tree` returns the join tree of an acyclic connected query
+(raising :class:`~repro.exceptions.NotAcyclicError` otherwise);
+:func:`is_acyclic` is the predicate form; :func:`gyo_reduce` exposes the raw
+reduction for diagnostics and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.hypergraph import Hypergraph
+from repro.query.jointree import DecompositionTree, join_tree_from_parents
+from repro.exceptions import NotAcyclicError, QueryStructureError
+
+
+def _find_ear(edges: Dict[str, FrozenSet[str]]) -> Optional[Tuple[str, Optional[str]]]:
+    """Find an ear in ``edges``.
+
+    Returns ``(ear, witness)`` where ``witness`` is an edge containing all
+    the ear's shared vertices, or ``witness is None`` when the ear shares no
+    vertex with any other edge (isolated edge — only legal as the last one
+    of a connected component).  Returns ``None`` when no ear exists.
+
+    Iteration order follows dict insertion order so results are
+    deterministic for a given query.
+    """
+    names = list(edges)
+    for name in names:
+        vertices = edges[name]
+        shared = frozenset(
+            v for v in vertices if any(v in edges[o] for o in names if o != name)
+        )
+        if not shared:
+            if len(names) == 1:
+                return name, None
+            # An edge sharing nothing in a multi-edge graph belongs to a
+            # different connected component; it is still an ear.
+            return name, None
+        for other in names:
+            if other != name and shared <= edges[other]:
+                return name, other
+    return None
+
+
+def gyo_reduce(hypergraph: Hypergraph) -> Tuple[bool, List[Tuple[str, Optional[str]]]]:
+    """Run GYO to exhaustion.
+
+    Returns ``(is_acyclic, eliminations)`` where ``eliminations`` lists the
+    ``(ear, witness)`` pairs in elimination order.  The hypergraph is
+    acyclic iff every edge gets eliminated.
+    """
+    edges = dict(hypergraph.edges)
+    eliminations: List[Tuple[str, Optional[str]]] = []
+    while edges:
+        found = _find_ear(edges)
+        if found is None:
+            return False, eliminations
+        ear, witness = found
+        eliminations.append((ear, witness))
+        del edges[ear]
+    return True, eliminations
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """True iff the query is α-acyclic under GYO reduction."""
+    acyclic, _ = gyo_reduce(Hypergraph.of_query(query))
+    return acyclic
+
+
+def gyo_join_tree(query: ConjunctiveQuery) -> DecompositionTree:
+    """Join tree of a *connected*, acyclic query via GYO decomposition.
+
+    The ear-elimination witness becomes the ear's parent; the final
+    surviving edge is the root.  Raises
+    :class:`~repro.exceptions.NotAcyclicError` for cyclic queries and
+    :class:`~repro.exceptions.QueryStructureError` for disconnected ones
+    (use :func:`gyo_join_forest` for those).
+    """
+    if not query.is_connected():
+        raise QueryStructureError(
+            f"query {query.name} is disconnected; build a join forest instead"
+        )
+    acyclic, eliminations = gyo_reduce(Hypergraph.of_query(query))
+    if not acyclic:
+        raise NotAcyclicError(f"query {query.name} is cyclic (GYO reduction stuck)")
+    parent: Dict[str, str] = {}
+    root = eliminations[-1][0]
+    for ear, witness in eliminations[:-1]:
+        # Connected + acyclic guarantees every non-final ear has a witness.
+        assert witness is not None
+        parent[ear] = witness
+    return join_tree_from_parents(query, root, parent)
+
+
+def gyo_join_forest(query: ConjunctiveQuery) -> List[DecompositionTree]:
+    """One join tree per connected component of an acyclic query."""
+    forest: List[DecompositionTree] = []
+    for component in query.connected_components():
+        sub = query.subquery(component, name=f"{query.name}_component")
+        forest.append(gyo_join_tree(sub))
+    return forest

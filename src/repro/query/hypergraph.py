@@ -1,0 +1,110 @@
+"""Query hypergraphs (Sec. 2.2).
+
+The hypergraph of a conjunctive query has the query variables as vertices
+and one hyperedge per atom (the atom's variable set).  GYO decomposition
+(:mod:`repro.query.gyo`) and the acyclicity notions operate on this view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
+
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.exceptions import SchemaError
+
+
+class Hypergraph:
+    """A named-edge hypergraph.
+
+    Parameters
+    ----------
+    edges:
+        Mapping from edge name (relation name) to its vertex set.
+    """
+
+    def __init__(self, edges: Mapping[str, Iterable[str]]):
+        self._edges: Dict[str, FrozenSet[str]] = {
+            name: frozenset(vertices) for name, vertices in edges.items()
+        }
+        if not self._edges:
+            raise SchemaError("hypergraph needs at least one edge")
+        for name, vertices in self._edges.items():
+            if not vertices:
+                raise SchemaError(f"hyperedge {name!r} is empty")
+
+    @classmethod
+    def of_query(cls, query: ConjunctiveQuery) -> "Hypergraph":
+        """The query hypergraph: one edge per atom."""
+        return cls({atom.relation: atom.variable_set for atom in query.atoms})
+
+    @property
+    def edge_names(self) -> Tuple[str, ...]:
+        return tuple(self._edges)
+
+    @property
+    def edges(self) -> Mapping[str, FrozenSet[str]]:
+        return dict(self._edges)
+
+    def edge(self, name: str) -> FrozenSet[str]:
+        return self._edges[name]
+
+    @property
+    def vertices(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for vs in self._edges.values():
+            out = out | vs
+        return out
+
+    def incident_edges(self, vertex: str) -> Tuple[str, ...]:
+        """Edges containing ``vertex``."""
+        return tuple(name for name, vs in self._edges.items() if vertex in vs)
+
+    def is_connected(self) -> bool:
+        """True iff any edge can reach any other through shared vertices."""
+        names = list(self._edges)
+        if len(names) <= 1:
+            return True
+        seen = {names[0]}
+        frontier = [names[0]]
+        while frontier:
+            current = frontier.pop()
+            for other in names:
+                if other in seen:
+                    continue
+                if self._edges[current] & self._edges[other]:
+                    seen.add(other)
+                    frontier.append(other)
+        return len(seen) == len(names)
+
+    def components(self) -> List[Tuple[str, ...]]:
+        """Edge names grouped by connected component, preserving order."""
+        names = list(self._edges)
+        assigned: Dict[str, int] = {}
+        components: List[List[str]] = []
+        for name in names:
+            if name in assigned:
+                continue
+            comp_index = len(components)
+            members = [name]
+            assigned[name] = comp_index
+            frontier = [name]
+            while frontier:
+                current = frontier.pop()
+                for other in names:
+                    if other in assigned:
+                        continue
+                    if self._edges[current] & self._edges[other]:
+                        assigned[other] = comp_index
+                        members.append(other)
+                        frontier.append(other)
+            components.append(members)
+        return [tuple(c) for c in components]
+
+    def restrict(self, edge_names: Iterable[str]) -> "Hypergraph":
+        """Sub-hypergraph on the given edges."""
+        keep = list(edge_names)
+        return Hypergraph({name: self._edges[name] for name in keep})
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}:{sorted(v)}" for n, v in self._edges.items())
+        return f"Hypergraph({parts})"

@@ -1,0 +1,91 @@
+"""A small datalog-style query parser.
+
+Accepts the notation the paper writes queries in::
+
+    Q(A, B, C) :- R1(A, B), R2(B, C)
+
+The head is optional (full CQs have all variables in the head anyway)::
+
+    R1(A, B), R2(B, C)
+
+Whitespace is insignificant.  Relation and variable names are identifiers
+(``[A-Za-z_][A-Za-z0-9_]*``).  The parser builds a
+:class:`~repro.query.conjunctive.ConjunctiveQuery`; selections are attached
+afterwards with :meth:`ConjunctiveQuery.with_selection`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.query.atoms import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.exceptions import ParseError
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+_ATOM_RE = re.compile(rf"\s*({_IDENT})\s*\(\s*({_IDENT}(?:\s*,\s*{_IDENT})*)\s*\)\s*")
+
+
+def _parse_atom_list(text: str, where: str) -> List[Tuple[str, Tuple[str, ...]]]:
+    atoms: List[Tuple[str, Tuple[str, ...]]] = []
+    position = 0
+    while position < len(text):
+        match = _ATOM_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"could not parse atom in {where} at: {text[position:position + 40]!r}"
+            )
+        name = match.group(1)
+        variables = tuple(v.strip() for v in match.group(2).split(","))
+        atoms.append((name, variables))
+        position = match.end()
+        if position < len(text):
+            if text[position] != ",":
+                raise ParseError(
+                    f"expected ',' between atoms in {where}, "
+                    f"found {text[position:position + 10]!r}"
+                )
+            position += 1
+    if not atoms:
+        raise ParseError(f"{where} contains no atoms")
+    return atoms
+
+
+def parse_query(text: str, name: Optional[str] = None) -> ConjunctiveQuery:
+    """Parse a datalog-style conjunctive query string.
+
+    Examples
+    --------
+    >>> q = parse_query("Q(A,B,C) :- R1(A,B), R2(B,C)")
+    >>> q.relation_names
+    ('R1', 'R2')
+    >>> parse_query("R1(A,B), R2(B,C)").variables
+    ('A', 'B', 'C')
+    """
+    text = text.strip()
+    if not text:
+        raise ParseError("empty query string")
+    head_name: Optional[str] = None
+    head_vars: Optional[Tuple[str, ...]] = None
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+        head_atoms = _parse_atom_list(head_text, "head")
+        if len(head_atoms) != 1:
+            raise ParseError("query head must be a single atom")
+        head_name, head_vars = head_atoms[0]
+    else:
+        body_text = text
+    body = _parse_atom_list(body_text, "body")
+    atoms = [Atom(rel, variables) for rel, variables in body]
+    query = ConjunctiveQuery(atoms, name=name or head_name or "Q")
+    if head_vars is not None:
+        missing = set(query.variables) - set(head_vars)
+        extra = set(head_vars) - set(query.variables)
+        if missing:
+            raise ParseError(
+                f"full CQs must project nothing: head is missing {sorted(missing)}"
+            )
+        if extra:
+            raise ParseError(f"head variables {sorted(extra)} do not appear in the body")
+    return query

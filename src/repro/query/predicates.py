@@ -1,0 +1,286 @@
+"""A small predicate DSL for selection conditions (Sec. 5.4 "Selections").
+
+Python callables work fine as selection predicates inside programs, but
+they cannot be printed, serialised, or passed on a command line.  This
+module provides composable predicate objects with a tiny text syntax::
+
+    A = 5            equality          (also != , < , <= , > , >=)
+    A in {1, 2, 3}   membership
+    cond and cond    conjunction
+    cond or cond     disjunction
+    not cond         negation
+
+Predicates are callables over ``{attribute: value}`` mappings, so they plug
+directly into :meth:`ConjunctiveQuery.with_selection`.  Comparisons coerce
+numeric-looking literals to int/float; everything else compares as string.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Tuple
+
+from repro.exceptions import ParseError
+
+
+def _coerce(text: str) -> object:
+    """Parse a literal: int, then float, then bare/quoted string."""
+    text = text.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+class Predicate:
+    """Base class: a printable, composable selection condition."""
+
+    def __call__(self, row: Mapping[str, object]) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+_OPERATORS = {
+    "=": lambda a, b: a == b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Compare(Predicate):
+    """``attribute <op> literal``."""
+
+    attribute: str
+    operator: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise ParseError(f"unknown comparison operator {self.operator!r}")
+
+    def __call__(self, row: Mapping[str, object]) -> bool:
+        actual = row[self.attribute]
+        expected = self.value
+        # Compare numerically when both sides look numeric.
+        if isinstance(expected, (int, float)) and not isinstance(actual, (int, float)):
+            try:
+                actual = type(expected)(actual)  # type: ignore[call-overload]
+            except (TypeError, ValueError):
+                return False
+        try:
+            return _OPERATORS[self.operator](actual, expected)
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.operator} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Member(Predicate):
+    """``attribute in {literals}``."""
+
+    attribute: str
+    values: FrozenSet[object]
+
+    def __call__(self, row: Mapping[str, object]) -> bool:
+        return row[self.attribute] in self.values
+
+    def __str__(self) -> str:
+        rendered = ", ".join(repr(v) for v in sorted(self.values, key=repr))
+        return f"{self.attribute} in {{{rendered}}}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def __call__(self, row: Mapping[str, object]) -> bool:
+        return self.left(row) and self.right(row)
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def __call__(self, row: Mapping[str, object]) -> bool:
+        return self.left(row) or self.right(row)
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    inner: Predicate
+
+    def __call__(self, row: Mapping[str, object]) -> bool:
+        return not self.inner(row)
+
+    def __str__(self) -> str:
+        return f"(not {self.inner})"
+
+
+class TruePredicate(Predicate):
+    """Always true — the neutral element for composition."""
+
+    def __call__(self, row: Mapping[str, object]) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+
+# ------------------------------------------------------------------ parser
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lparen>\()|(?P<rparen>\))|(?P<lbrace>\{)|(?P<rbrace>\})"
+    r"|(?P<comma>,)|(?P<op><=|>=|!=|==|=|<|>)"
+    r"|(?P<word>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<number>-?\d+(?:\.\d+)?)"
+    r"|(?P<string>'[^']*'|\"[^\"]*\"))"
+)
+
+_KEYWORDS = {"and", "or", "not", "in", "true"}
+
+
+def _tokenize(text: str):
+    position = 0
+    tokens = []
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"bad predicate syntax at: {text[position:position + 20]!r}")
+        kind = match.lastgroup
+        value = match.group(kind)  # type: ignore[arg-type]
+        tokens.append((kind, value))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive descent over: or > and > not > atom."""
+
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self):
+        return self.tokens[self.index] if self.index < len(self.tokens) else (None, None)
+
+    def take(self):
+        token = self.peek()
+        self.index += 1
+        return token
+
+    def expect(self, kind, value=None):
+        actual_kind, actual_value = self.take()
+        if actual_kind != kind or (value is not None and actual_value != value):
+            raise ParseError(
+                f"expected {value or kind}, got {actual_value!r}"
+            )
+        return actual_value
+
+    def parse(self) -> Predicate:
+        predicate = self.parse_or()
+        if self.index != len(self.tokens):
+            raise ParseError(f"trailing tokens after predicate: {self.peek()[1]!r}")
+        return predicate
+
+    def parse_or(self) -> Predicate:
+        left = self.parse_and()
+        while self.peek() == ("word", "or"):
+            self.take()
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Predicate:
+        left = self.parse_not()
+        while self.peek() == ("word", "and"):
+            self.take()
+            left = And(left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Predicate:
+        if self.peek() == ("word", "not"):
+            self.take()
+            return Not(self.parse_not())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Predicate:
+        kind, value = self.peek()
+        if kind == "lparen":
+            self.take()
+            inner = self.parse_or()
+            self.expect("rparen")
+            return inner
+        if kind == "word" and value == "true":
+            self.take()
+            return TruePredicate()
+        if kind != "word" or value in _KEYWORDS:
+            raise ParseError(f"expected attribute name, got {value!r}")
+        attribute = self.take()[1]
+        kind, value = self.peek()
+        if kind == "word" and value == "in":
+            self.take()
+            self.expect("lbrace")
+            literals = []
+            while True:
+                lk, lv = self.take()
+                if lk not in ("number", "string", "word"):
+                    raise ParseError(f"bad literal in set: {lv!r}")
+                literals.append(_coerce(lv))
+                kind, value = self.take()
+                if kind == "rbrace":
+                    break
+                if kind != "comma":
+                    raise ParseError(f"expected ',' or '}}', got {value!r}")
+            return Member(attribute, frozenset(literals))
+        if kind == "op":
+            operator = self.take()[1]
+            lk, lv = self.take()
+            if lk not in ("number", "string", "word"):
+                raise ParseError(f"bad comparison literal: {lv!r}")
+            return Compare(attribute, "=" if operator == "==" else operator, _coerce(lv))
+        raise ParseError(f"expected comparison or 'in' after {attribute!r}")
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse a predicate expression.
+
+    Examples
+    --------
+    >>> p = parse_predicate("A = 1 and (B > 2 or C in {'x', 'y'})")
+    >>> p({"A": 1, "B": 0, "C": "x"})
+    True
+    >>> p({"A": 2, "B": 9, "C": "x"})
+    False
+    """
+    text = text.strip()
+    if not text:
+        raise ParseError("empty predicate")
+    return _Parser(_tokenize(text)).parse()

@@ -1,0 +1,29 @@
+"""The paper's evaluation workloads (Fig. 5)."""
+
+from repro.workloads.base import Workload
+from repro.workloads.facebook_queries import (
+    cycle_workload,
+    facebook_workloads,
+    path_workload,
+    star_workload,
+    triangle_workload,
+)
+from repro.workloads.tpch_queries import (
+    q1_workload,
+    q2_workload,
+    q3_workload,
+    tpch_workloads,
+)
+
+__all__ = [
+    "Workload",
+    "cycle_workload",
+    "facebook_workloads",
+    "path_workload",
+    "q1_workload",
+    "q2_workload",
+    "q3_workload",
+    "star_workload",
+    "tpch_workloads",
+    "triangle_workload",
+]

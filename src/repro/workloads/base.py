@@ -1,0 +1,58 @@
+"""Workload plumbing: a query plus everything an experiment needs to run it.
+
+A :class:`Workload` bundles the conjunctive query, the decomposition the
+paper prescribes for it (Fig. 5), the view-preparation step that derives
+the queried tables from the base dataset (e.g. projecting ``Lineitem`` to
+``L(OK)`` for q1), and the DP policy parameters used in Table 2 (primary
+private relation and the tuple-sensitivity upper bound ``ℓ``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from repro.engine.database import Database
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.jointree import DecompositionTree
+
+
+@dataclass
+class Workload:
+    """One experimental query with its paper-prescribed configuration.
+
+    Attributes
+    ----------
+    name:
+        The paper's query name (``q1`` ... ``q3``, ``q4``/``q_tri``,
+        ``qw``, ``q_cycle``, ``q_star``).
+    query:
+        The conjunctive query over the *prepared* database's relations.
+    prepare:
+        Derives the queried database (views, key metadata) from the base
+        dataset.  Identity for the Facebook workloads.
+    tree:
+        The decomposition from Fig. 5 (``None`` = let GYO/auto decide).
+    primary:
+        Primary private relation for the DP experiments.
+    ell:
+        The paper's assumed upper bound on tuple sensitivity (Table 2).
+    skip_relations:
+        Relations whose multiplicity table TSens skips because their
+        attributes form a superkey of the output (δ ≤ 1) — Lineitem in q3.
+    description:
+        One-line summary shown in experiment reports.
+    """
+
+    name: str
+    query: ConjunctiveQuery
+    prepare: Callable[[Database], Database]
+    tree: Optional[DecompositionTree] = None
+    primary: Optional[str] = None
+    ell: int = 100
+    skip_relations: Tuple[str, ...] = ()
+    description: str = ""
+
+    def prepared(self, base: Database) -> Database:
+        """The database this workload's query runs over."""
+        return self.prepare(base)

@@ -1,0 +1,197 @@
+"""The paper's three TPC-H queries (Fig. 5a).
+
+* **q1** — path join ``R(RK), N(RK,NK), C(NK,CK), O(CK,OK), L(OK)``;
+* **q2** — acyclic join ``PS(SK,PK), S(SK), P(PK), L(SK,PK)``;
+* **q3** — cyclic "universal table" join over all eight relations with the
+  extra constraint that supplier and customer share a nation, decomposed
+  with the paper's generalized hypertree
+  ``{R,N,L} / {O,C} / {S,P} / {PS}``.
+
+Relations like ``L(OK)`` or ``S(SK)`` denote the base table restricted to
+the named join attributes.  Under the paper's conventions the remaining
+attributes are *exclusive* (they appear in no other atom) and are ignored
+by the sensitivity analysis (Sec. 5.4 "Other"); for the data we realise
+them as bag projections, which preserves both the join result and every
+tuple sensitivity.
+"""
+
+from __future__ import annotations
+
+from repro.engine.database import Database, ForeignKey
+from repro.engine.operators import group_by
+from repro.query.atoms import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.ghd import ghd_from_groups
+from repro.workloads.base import Workload
+
+
+def _prepare_q1(base: Database) -> Database:
+    """Views for q1: the customer→order chain with Lineitem as L(OK)."""
+    relations = {
+        "R": base.relation("Region"),
+        "N": base.relation("Nation"),
+        "C": base.relation("Customer"),
+        "O": base.relation("Orders"),
+        "L": group_by(base.relation("Lineitem"), ("OK",)),
+    }
+    return Database(
+        relations,
+        primary_keys={"R": ("RK",), "N": ("NK",), "C": ("CK",), "O": ("OK",)},
+        foreign_keys=[
+            ForeignKey("N", ("RK",), "R", ("RK",)),
+            ForeignKey("C", ("NK",), "N", ("NK",)),
+            ForeignKey("O", ("CK",), "C", ("CK",)),
+            ForeignKey("L", ("OK",), "O", ("OK",)),
+        ],
+    )
+
+
+def _prepare_q2(base: Database) -> Database:
+    """Views for q2: Partsupp joined with suppliers, parts and lineitems."""
+    relations = {
+        "PS": base.relation("Partsupp"),
+        "S": group_by(base.relation("Supplier"), ("SK",)),
+        "P": base.relation("Part"),
+        "L": group_by(base.relation("Lineitem"), ("SK", "PK")),
+    }
+    return Database(
+        relations,
+        primary_keys={"S": ("SK",), "P": ("PK",), "PS": ("SK", "PK")},
+        foreign_keys=[
+            ForeignKey("PS", ("SK",), "S", ("SK",)),
+            ForeignKey("PS", ("PK",), "P", ("PK",)),
+            ForeignKey("L", ("SK", "PK"), "PS", ("SK", "PK")),
+        ],
+    )
+
+
+def _prepare_q3(base: Database) -> Database:
+    """Views for q3: all eight base relations under their workload names."""
+    relations = {
+        "R": base.relation("Region"),
+        "N": base.relation("Nation"),
+        "S": base.relation("Supplier"),
+        "PS": base.relation("Partsupp"),
+        "P": base.relation("Part"),
+        "C": base.relation("Customer"),
+        "O": base.relation("Orders"),
+        "L": base.relation("Lineitem"),
+    }
+    return Database(
+        relations,
+        primary_keys={
+            "R": ("RK",),
+            "N": ("NK",),
+            "S": ("SK",),
+            "P": ("PK",),
+            "C": ("CK",),
+            "O": ("OK",),
+            "PS": ("SK", "PK"),
+        },
+        foreign_keys=[
+            ForeignKey("N", ("RK",), "R", ("RK",)),
+            ForeignKey("S", ("NK",), "N", ("NK",)),
+            ForeignKey("C", ("NK",), "N", ("NK",)),
+            ForeignKey("O", ("CK",), "C", ("CK",)),
+            ForeignKey("PS", ("SK",), "S", ("SK",)),
+            ForeignKey("PS", ("PK",), "P", ("PK",)),
+            ForeignKey("L", ("OK",), "O", ("OK",)),
+            ForeignKey("L", ("SK", "PK"), "PS", ("SK", "PK")),
+        ],
+    )
+
+
+def q1_workload() -> Workload:
+    """q1: the paper's path join query (Customer is primary private)."""
+    query = ConjunctiveQuery(
+        [
+            Atom("R", ("RK",)),
+            Atom("N", ("RK", "NK")),
+            Atom("C", ("NK", "CK")),
+            Atom("O", ("CK", "OK")),
+            Atom("L", ("OK",)),
+        ],
+        name="q1",
+    )
+    return Workload(
+        name="q1",
+        query=query,
+        prepare=_prepare_q1,
+        tree=None,  # path algorithm / GYO both apply
+        primary="C",
+        ell=100,
+        description="path join Region-Nation-Customer-Orders-Lineitem",
+    )
+
+
+def q2_workload() -> Workload:
+    """q2: the paper's acyclic star join (Supplier is primary private)."""
+    query = ConjunctiveQuery(
+        [
+            Atom("PS", ("SK", "PK")),
+            Atom("S", ("SK",)),
+            Atom("P", ("PK",)),
+            Atom("L", ("SK", "PK")),
+        ],
+        name="q2",
+    )
+    tree = ghd_from_groups(
+        query,
+        groups={"nPS": ["PS"], "nS": ["S"], "nP": ["P"], "nL": ["L"]},
+        root="nPS",
+        parent={"nS": "nPS", "nP": "nPS", "nL": "nPS"},
+    )
+    return Workload(
+        name="q2",
+        query=query,
+        prepare=_prepare_q2,
+        tree=tree,
+        primary="S",
+        ell=500,
+        description="acyclic join Partsupp-Supplier-Part-Lineitem",
+    )
+
+
+def q3_workload() -> Workload:
+    """q3: the paper's cyclic universal-table query with its Fig. 5a
+    hypertree (Customer is primary private; Lineitem's table is skipped
+    because (OK,SK,PK) is a superkey of the output, so δ ≤ 1)."""
+    query = ConjunctiveQuery(
+        [
+            Atom("R", ("RK",)),
+            Atom("N", ("RK", "NK")),
+            Atom("S", ("NK", "SK")),
+            Atom("PS", ("SK", "PK")),
+            Atom("P", ("PK",)),
+            Atom("C", ("NK", "CK")),
+            Atom("O", ("CK", "OK")),
+            Atom("L", ("OK", "SK", "PK")),
+        ],
+        name="q3",
+    )
+    tree = ghd_from_groups(
+        query,
+        groups={
+            "gRNL": ["R", "N", "L"],
+            "gOC": ["O", "C"],
+            "gSP": ["S", "P"],
+            "gPS": ["PS"],
+        },
+        root="gRNL",
+        parent={"gOC": "gRNL", "gSP": "gRNL", "gPS": "gRNL"},
+    )
+    return Workload(
+        name="q3",
+        query=query,
+        prepare=_prepare_q3,
+        tree=tree,
+        primary="C",
+        ell=10,
+        skip_relations=("L",),
+        description="cyclic universal-table join (supplier & customer share nation)",
+    )
+
+
+def tpch_workloads() -> list:
+    """All three TPC-H workloads in paper order."""
+    return [q1_workload(), q2_workload(), q3_workload()]

@@ -1,0 +1,117 @@
+"""Unit tests for the Elastic (Flex) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    elastic_per_relation,
+    elastic_sensitivity,
+    plan_from_tree,
+)
+from repro.core import naive_local_sensitivity
+from repro.datasets import random_acyclic_query, random_database
+from repro.engine import Database, Relation
+from repro.query import auto_decompose, gyo_join_tree, parse_query
+from repro.exceptions import MechanismConfigError, UnknownRelationError
+
+
+class TestUpperBound:
+    def test_bounds_fig1(self, fig1_query, fig1_db):
+        exact = naive_local_sensitivity(fig1_query, fig1_db).local_sensitivity
+        assert elastic_sensitivity(fig1_query, fig1_db) >= exact
+
+    def test_bounds_fig3(self, fig3_query, fig3_db):
+        exact = naive_local_sensitivity(fig3_query, fig3_db).local_sensitivity
+        assert elastic_sensitivity(fig3_query, fig3_db) >= exact
+
+    def test_bounds_random_instances(self):
+        rng = np.random.default_rng(13)
+        for _ in range(25):
+            query = random_acyclic_query(rng, num_atoms=3)
+            db = random_database(query, rng)
+            exact = naive_local_sensitivity(query, db).local_sensitivity
+            assert elastic_sensitivity(query, db) >= exact
+
+    def test_selection_obliviousness(self, fig3_query, fig3_db):
+        # Flex ignores selections: the bound must not shrink.
+        filtered = fig3_query.with_selection("R2", lambda row: False)
+        assert elastic_sensitivity(filtered, fig3_db) == elastic_sensitivity(
+            fig3_query, fig3_db
+        )
+
+
+class TestJoinPlans:
+    def test_plan_from_tree_covers_all(self, fig1_query):
+        plan = plan_from_tree(gyo_join_tree(fig1_query))
+
+        def flatten(p):
+            if isinstance(p, str):
+                return [p]
+            return flatten(p[0]) + flatten(p[1])
+
+        assert sorted(flatten(plan)) == sorted(fig1_query.relation_names)
+
+    def test_explicit_plan(self, fig3_query, fig3_db):
+        plan = ((("R1", "R2"), "R3"), "R4")
+        assert elastic_sensitivity(fig3_query, fig3_db, plan=plan) > 0
+
+    def test_incomplete_plan_rejected(self, fig3_query, fig3_db):
+        with pytest.raises(MechanismConfigError):
+            elastic_sensitivity(fig3_query, fig3_db, plan=("R1", "R2"))
+
+    def test_unknown_relation_in_plan(self, fig3_query, fig3_db):
+        with pytest.raises(UnknownRelationError):
+            elastic_sensitivity(
+                fig3_query, fig3_db, plan=((("R1", "R2"), "R3"), "Rz")
+            )
+
+
+class TestCrossProductExtension:
+    def test_cross_product_uses_size(self):
+        q = parse_query("R(A), S(B)")
+        db = Database(
+            {
+                "R": Relation(["A"], [(1,), (2,), (3,)]),
+                "S": Relation(["B"], [(9,)] * 5),
+            }
+        )
+        # Adding one R tuple adds |S| = 5 rows; elastic's bound must cover
+        # it via mf(∅, S) = 5.
+        bound = elastic_sensitivity(q, db, plan=("R", "S"))
+        exact = naive_local_sensitivity(q, db).local_sensitivity
+        assert bound >= exact == 5
+
+
+class TestPerRelation:
+    def test_per_relation_max_is_overall(self, fig1_query, fig1_db):
+        per = elastic_per_relation(fig1_query, fig1_db)
+        assert max(per.values()) == elastic_sensitivity(fig1_query, fig1_db)
+
+    def test_protected_selects_one(self, fig1_query, fig1_db):
+        per = elastic_per_relation(fig1_query, fig1_db)
+        for relation, value in per.items():
+            assert (
+                elastic_sensitivity(fig1_query, fig1_db, protected=relation)
+                == value
+            )
+
+    def test_per_relation_bounds_naive(self, fig1_query, fig1_db):
+        per = elastic_per_relation(fig1_query, fig1_db)
+        naive = naive_local_sensitivity(fig1_query, fig1_db)
+        for relation in fig1_query.relation_names:
+            assert per[relation] >= naive.per_relation[relation].sensitivity
+
+    def test_protected_unknown_relation(self, fig1_query, fig1_db):
+        with pytest.raises(UnknownRelationError):
+            elastic_sensitivity(fig1_query, fig1_db, protected="Rz")
+
+
+class TestCyclic:
+    def test_triangle_bound(self, triangle_query, triangle_db):
+        exact = naive_local_sensitivity(
+            triangle_query, triangle_db
+        ).local_sensitivity
+        bound = elastic_sensitivity(
+            triangle_query, triangle_db, tree=auto_decompose(triangle_query)
+        )
+        assert bound >= exact

@@ -1,0 +1,103 @@
+"""Shared fixtures: the paper's running examples and small datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database, Relation
+from repro.query import parse_query
+
+
+@pytest.fixture
+def fig1_query():
+    """The acyclic query of the paper's Figure 1."""
+    return parse_query("Q(A,B,C,D,E,F) :- R1(A,B,C), R2(A,B,D), R3(A,E), R4(B,F)")
+
+
+@pytest.fixture
+def fig1_db():
+    """The database instance of the paper's Figure 1 (join output: 1 row;
+    local sensitivity 4 with witness (a2, b2, c1) in R1)."""
+    return Database(
+        {
+            "R1": Relation(
+                ["A", "B", "C"],
+                [("a1", "b1", "c1"), ("a1", "b2", "c1"), ("a2", "b1", "c1")],
+            ),
+            "R2": Relation(
+                ["A", "B", "D"], [("a1", "b1", "d1"), ("a2", "b2", "d2")]
+            ),
+            "R3": Relation(["A", "E"], [("a1", "e1"), ("a2", "e1"), ("a2", "e2")]),
+            "R4": Relation(["B", "F"], [("b1", "f1"), ("b2", "f1"), ("b2", "f2")]),
+        }
+    )
+
+
+@pytest.fixture
+def fig3_query():
+    """The path query of the paper's Figure 3."""
+    return parse_query(
+        "Qp(A,B,C,D,E) :- R1(A,B), R2(B,C), R3(C,D), R4(D,E)"
+    )
+
+
+@pytest.fixture
+def fig3_db():
+    """The database of Figure 3 (with R1 containing a duplicate row, as in
+    the paper's bag-semantics illustration)."""
+    return Database(
+        {
+            "R1": Relation(
+                ["A", "B"],
+                [("a1", "b1"), ("a1", "b2"), ("a2", "b2"), ("a2", "b2")],
+            ),
+            "R2": Relation(
+                ["B", "C"],
+                [("b1", "c1"), ("b1", "c2"), ("b2", "c1"), ("b2", "c1")],
+            ),
+            "R3": Relation(
+                ["C", "D"],
+                [("c1", "d1"), ("c1", "d1"), ("c2", "d1"), ("c2", "d2")],
+            ),
+            "R4": Relation(
+                ["D", "E"],
+                [("d1", "e1"), ("d1", "e2"), ("d1", "e3"), ("d2", "e4")],
+            ),
+        }
+    )
+
+
+@pytest.fixture
+def triangle_query():
+    """A triangle (cyclic) query."""
+    return parse_query("Qt(A,B,C) :- R1(A,B), R2(B,C), R3(C,A)")
+
+
+@pytest.fixture
+def triangle_db():
+    """A small triangle instance with one heavy vertex pair."""
+    return Database(
+        {
+            "R1": Relation(["A", "B"], [(0, 1), (0, 2), (3, 1), (0, 1)]),
+            "R2": Relation(["B", "C"], [(1, 5), (2, 5), (1, 6)]),
+            "R3": Relation(["C", "A"], [(5, 0), (6, 0), (5, 3)]),
+        }
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch():
+    """A memoised tiny TPC-H instance for integration tests."""
+    from repro.datasets import generate_tpch
+
+    return generate_tpch(0.0002, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_facebook():
+    """A memoised small ego-network for integration tests."""
+    from repro.datasets import generate_ego_network
+
+    return generate_ego_network(
+        nodes=60, directed_edges=600, num_circles=80, seed=11
+    )

@@ -1,0 +1,61 @@
+"""Unit tests for the TSens explanation/profiling module."""
+
+import pytest
+
+from repro.core import local_sensitivity
+from repro.core.explain import explain
+from repro.engine import Database, Relation
+from repro.query import parse_query
+from repro.exceptions import QueryStructureError
+
+
+class TestExplain:
+    def test_local_sensitivity_matches(self, fig1_query, fig1_db):
+        report = explain(fig1_query, fig1_db)
+        expected = local_sensitivity(fig1_query, fig1_db).local_sensitivity
+        assert report.local_sensitivity == expected
+
+    def test_node_profiles_cover_tree(self, fig1_query, fig1_db):
+        report = explain(fig1_query, fig1_db)
+        assert {n.node_id for n in report.nodes} == {"R1", "R2", "R3", "R4"}
+        roots = [n for n in report.nodes if n.topjoin_rows is None]
+        assert len(roots) == 1
+
+    def test_table_profiles(self, fig3_query, fig3_db):
+        report = explain(fig3_query, fig3_db)
+        assert len(report.tables) == 4
+        # Path query: every multiplicity table stays factored into two
+        # boundary tables (incoming × outgoing) — the doubly-acyclic win.
+        for table in report.tables:
+            assert len(table.factor_sizes) >= 1
+            assert table.dense_size_if_materialised >= max(table.factor_sizes)
+
+    def test_skip_relations(self, fig1_query, fig1_db):
+        report = explain(fig1_query, fig1_db, skip_relations=("R1",))
+        assert "R1" not in [t.relation for t in report.tables]
+
+    def test_largest_intermediate(self, fig1_query, fig1_db):
+        report = explain(fig1_query, fig1_db)
+        assert report.largest_intermediate() >= 1
+
+    def test_str_rendering(self, fig1_query, fig1_db):
+        text = str(explain(fig1_query, fig1_db))
+        assert "TSens explanation" in text
+        assert "multiplicity tables:" in text
+        assert "LS=4" in text
+
+    def test_ghd_width_reported(self, triangle_query, triangle_db):
+        report = explain(triangle_query, triangle_db)
+        assert report.tree_width == 2
+        assert report.query_class == "cyclic"
+
+    def test_disconnected_rejected(self):
+        q = parse_query("R(A), S(B)")
+        db = Database(
+            {"R": Relation(["A"], [(1,)]), "S": Relation(["B"], [(2,)])}
+        )
+        with pytest.raises(QueryStructureError):
+            explain(q, db)
+
+    def test_timing_recorded(self, fig1_query, fig1_db):
+        assert explain(fig1_query, fig1_db).seconds > 0

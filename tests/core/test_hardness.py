@@ -1,0 +1,114 @@
+"""Executable check of the Theorem 3.2 reduction (experiment E7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import local_sensitivity, naive_local_sensitivity
+from repro.core.hardness import (
+    ThreeSatInstance,
+    dpll,
+    reduction,
+    satisfying_insertion,
+)
+from repro.exceptions import ReproError
+
+
+def random_instance(rng, num_variables=4, num_clauses=6):
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.choice(num_variables, size=3, replace=False) + 1
+        signs = rng.integers(0, 2, size=3).astype(bool)
+        clauses.append(tuple((int(v), bool(s)) for v, s in zip(variables, signs)))
+    return ThreeSatInstance(num_variables, tuple(clauses))
+
+
+class TestDpll:
+    def test_satisfiable(self):
+        inst = ThreeSatInstance(
+            3, (((1, True), (2, True), (3, True)),)
+        )
+        solution = dpll(inst)
+        assert solution is not None
+        assert inst.evaluate(solution)
+
+    def test_unsatisfiable(self):
+        # All eight sign patterns over three variables — unsatisfiable.
+        clauses = []
+        for bits in range(8):
+            clauses.append(
+                tuple((i + 1, bool(bits >> i & 1)) for i in range(3))
+            )
+        inst = ThreeSatInstance(3, tuple(clauses))
+        assert dpll(inst) is None
+
+    def test_random_solutions_verify(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            inst = random_instance(rng)
+            solution = dpll(inst)
+            if solution is not None:
+                assert inst.evaluate(solution)
+
+
+class TestReduction:
+    def test_reduction_is_acyclic(self):
+        rng = np.random.default_rng(5)
+        inst = random_instance(rng)
+        query, _ = reduction(inst)
+        from repro.query import is_acyclic
+
+        assert is_acyclic(query)
+
+    def test_clause_relation_has_seven_rows(self):
+        inst = ThreeSatInstance(3, (((1, True), (2, False), (3, True)),))
+        _, db = reduction(inst)
+        assert db.relation("C1").total_count() == 7
+
+    def test_r0_is_empty(self):
+        inst = ThreeSatInstance(3, (((1, True), (2, False), (3, True)),))
+        _, db = reduction(inst)
+        assert db.relation("R0").is_empty()
+
+    def test_ls_positive_iff_satisfiable(self):
+        rng = np.random.default_rng(7)
+        seen = {True: 0, False: 0}
+        for _ in range(15):
+            inst = random_instance(rng, num_variables=4, num_clauses=7)
+            query, db = reduction(inst)
+            satisfiable = dpll(inst) is not None
+            seen[satisfiable] += 1
+            result = local_sensitivity(query, db, method="tsens")
+            assert (result.local_sensitivity > 0) == satisfiable
+        # The sample should include both outcomes to be meaningful.
+        assert seen[True] > 0
+
+    def test_naive_agrees_on_small_instance(self):
+        inst = ThreeSatInstance(
+            3,
+            (
+                ((1, True), (2, False), (3, True)),
+                ((1, False), (2, True), (3, False)),
+            ),
+        )
+        query, db = reduction(inst)
+        fast = local_sensitivity(query, db, method="tsens")
+        slow = naive_local_sensitivity(query, db, max_candidates=500_000)
+        assert fast.local_sensitivity == slow.local_sensitivity
+
+    def test_satisfying_insertion_witnesses(self):
+        inst = ThreeSatInstance(
+            3, (((1, True), (2, True), (3, True)),)
+        )
+        query, db = reduction(inst)
+        row = satisfying_insertion(inst)
+        assert row is not None
+        from repro.evaluation import count_query
+
+        grown = db.add_tuple("R0", row)
+        assert count_query(query, grown) > 0
+
+    def test_repeated_clause_variable_rejected(self):
+        with pytest.raises(ReproError):
+            reduction(
+                ThreeSatInstance(2, (((1, True), (1, False), (2, True)),))
+            )

@@ -1,0 +1,60 @@
+"""Unit tests for the naive Theorem 3.1 algorithm."""
+
+import pytest
+
+from repro.core import naive_local_sensitivity, naive_tuple_sensitivity
+from repro.core.naive import DomainTooLargeError
+from repro.engine import Database, Relation
+from repro.query import parse_query
+
+
+class TestNaive:
+    def test_fig1(self, fig1_query, fig1_db):
+        result = naive_local_sensitivity(fig1_query, fig1_db)
+        assert result.local_sensitivity == 4
+        assert result.witness.relation == "R1"
+
+    def test_method_label(self, fig1_query, fig1_db):
+        assert naive_local_sensitivity(fig1_query, fig1_db).method == "naive"
+
+    def test_restricted_relations(self, fig1_query, fig1_db):
+        result = naive_local_sensitivity(
+            fig1_query, fig1_db, relations=("R3",)
+        )
+        assert set(result.per_relation) == {"R3"}
+        assert result.local_sensitivity == 1
+
+    def test_domain_cap(self, fig1_query, fig1_db):
+        with pytest.raises(DomainTooLargeError):
+            naive_local_sensitivity(fig1_query, fig1_db, max_candidates=2)
+
+    def test_no_tables_produced(self, fig1_query, fig1_db):
+        assert naive_local_sensitivity(fig1_query, fig1_db).tables == {}
+
+
+class TestNaiveTupleSensitivity:
+    def test_downward(self, fig1_query, fig1_db):
+        delta = naive_tuple_sensitivity(
+            fig1_query, fig1_db, "R1", ("a1", "b1", "c1")
+        )
+        assert delta == 1
+
+    def test_upward(self, fig1_query, fig1_db):
+        delta = naive_tuple_sensitivity(
+            fig1_query, fig1_db, "R1", ("a2", "b2", "c1")
+        )
+        assert delta == 4
+
+    def test_irrelevant_tuple(self, fig1_query, fig1_db):
+        delta = naive_tuple_sensitivity(
+            fig1_query, fig1_db, "R1", ("zz", "zz", "zz")
+        )
+        assert delta == 0
+
+    def test_duplicate_removal_one_copy(self):
+        q = parse_query("R(A), S(A)")
+        db = Database(
+            {"R": Relation(["A"], {(1,): 3}), "S": Relation(["A"], {(1,): 2})}
+        )
+        # Removing one copy of R(1) removes 2 outputs (its S partners).
+        assert naive_tuple_sensitivity(q, db, "R", (1,)) == 2

@@ -1,0 +1,145 @@
+"""Unit tests for LSPathJoin (Algorithm 1) — :mod:`repro.core.path`."""
+
+import pytest
+
+from repro.core import ls_path_join, naive_local_sensitivity, tsens
+from repro.engine import Database, Relation
+from repro.query import parse_query
+from repro.exceptions import QueryStructureError
+
+
+class TestPaperExample:
+    """Figure 3 / Examples 4.1–4.2 of the paper."""
+
+    def test_r2_tuple_sensitivity_is_topjoin_times_botjoin(
+        self, fig3_query, fig3_db
+    ):
+        # Figure 3's multiplicity table for R2: J(R2) = {b1: 1, b2: 3} and
+        # K(R3) = {c1: 6, c2: 4}, giving δ(b1,c1)=6 and δ(b2,c1)=18 — the
+        # exact values printed in the paper's figure.
+        result = ls_path_join(fig3_query, fig3_db)
+        assert result.tuple_sensitivity("R2", {"B": "b1", "C": "c1"}) == 6
+        assert result.tuple_sensitivity("R2", {"B": "b2", "C": "c1"}) == 18
+
+    def test_matches_naive_and_tsens(self, fig3_query, fig3_db):
+        path = ls_path_join(fig3_query, fig3_db)
+        acyclic = tsens(fig3_query, fig3_db)
+        naive = naive_local_sensitivity(fig3_query, fig3_db)
+        assert (
+            path.local_sensitivity
+            == acyclic.local_sensitivity
+            == naive.local_sensitivity
+        )
+        for relation in fig3_query.relation_names:
+            assert (
+                path.per_relation[relation].sensitivity
+                == naive.per_relation[relation].sensitivity
+            )
+
+    def test_method_label(self, fig3_query, fig3_db):
+        assert ls_path_join(fig3_query, fig3_db).method == "path"
+
+
+class TestEndpoints:
+    def test_first_relation_sensitivity_is_outgoing_only(self):
+        q = parse_query("R1(A,B), R2(B,C)")
+        db = Database(
+            {
+                "R1": Relation(["A", "B"], [(1, 10)]),
+                "R2": Relation(["B", "C"], [(10, 0), (10, 1), (10, 1)]),
+            }
+        )
+        result = ls_path_join(q, db)
+        # Adding R1(x, 10) creates 3 outputs; A is free (exclusive).
+        assert result.per_relation["R1"].sensitivity == 3
+
+    def test_last_relation_sensitivity_is_incoming_only(self):
+        q = parse_query("R1(A,B), R2(B,C)")
+        db = Database(
+            {
+                "R1": Relation(["A", "B"], [(1, 10), (2, 10), (1, 10)]),
+                "R2": Relation(["B", "C"], [(10, 0)]),
+            }
+        )
+        result = ls_path_join(q, db)
+        assert result.per_relation["R2"].sensitivity == 3
+
+    def test_unary_endpoints(self):
+        # TPC-H q1 shape: Region(RK) is unary.
+        q = parse_query("R(RK), N(RK,NK), C(NK,CK)")
+        db = Database(
+            {
+                "R": Relation(["RK"], [(0,), (1,)]),
+                "N": Relation(["RK", "NK"], [(0, 5), (0, 6), (1, 5)]),
+                "C": Relation(["NK", "CK"], [(5, 100), (5, 101), (6, 102)]),
+            }
+        )
+        result = ls_path_join(q, db)
+        naive = naive_local_sensitivity(q, db)
+        assert result.local_sensitivity == naive.local_sensitivity
+
+    def test_single_relation(self):
+        q = parse_query("R(A,B)")
+        db = Database({"R": Relation(["A", "B"], [(1, 2)])})
+        result = ls_path_join(q, db)
+        assert result.local_sensitivity == 1
+        assert result.witness is not None
+
+    def test_two_relations(self):
+        q = parse_query("R(A,B), S(B,C)")
+        db = Database(
+            {
+                "R": Relation(["A", "B"], [(1, 2), (3, 2)]),
+                "S": Relation(["B", "C"], [(2, 4)]),
+            }
+        )
+        result = ls_path_join(q, db)
+        assert result.local_sensitivity == 2
+        assert result.witness.relation == "S"
+
+
+class TestMultiAttributeBoundaries:
+    def test_shared_pair_of_attributes(self):
+        q = parse_query("R(A,B,C), S(B,C,D)")
+        db = Database(
+            {
+                "R": Relation(["A", "B", "C"], [(1, 2, 3), (9, 2, 3)]),
+                "S": Relation(["B", "C", "D"], [(2, 3, 7)]),
+            }
+        )
+        result = ls_path_join(q, db)
+        naive = naive_local_sensitivity(q, db)
+        assert result.local_sensitivity == naive.local_sensitivity == 2
+
+
+class TestEmptyCases:
+    def test_middle_relation_empty(self, fig3_query, fig3_db):
+        db = fig3_db.with_relation("R2", Relation(["B", "C"], ()))
+        result = ls_path_join(fig3_query, db)
+        naive = naive_local_sensitivity(fig3_query, db)
+        assert result.local_sensitivity == naive.local_sensitivity
+        # Insertions into R2 can still connect R1 to R3⋈R4.
+        assert result.local_sensitivity > 0
+
+    def test_everything_empty(self):
+        q = parse_query("R(A,B), S(B,C)")
+        db = Database(
+            {"R": Relation(["A", "B"], ()), "S": Relation(["B", "C"], ())}
+        )
+        result = ls_path_join(q, db)
+        assert result.local_sensitivity == 0
+        assert result.witness is None
+
+
+class TestErrors:
+    def test_non_path_query_rejected(self, fig1_query, fig1_db):
+        with pytest.raises(QueryStructureError):
+            ls_path_join(fig1_query, fig1_db)
+
+
+class TestSelections:
+    def test_selection_respected(self, fig3_query, fig3_db):
+        filtered = fig3_query.with_selection("R3", lambda row: row["D"] == "d1")
+        path = ls_path_join(filtered, fig3_db)
+        naive = naive_local_sensitivity(filtered, fig3_db)
+        assert path.local_sensitivity == naive.local_sensitivity

@@ -1,0 +1,64 @@
+"""Unit tests for the top-k approximation (Sec. 5.4)."""
+
+import pytest
+
+from repro.core import clamp_to_top_k, naive_local_sensitivity, tsens, tsens_topk
+from repro.engine import Database, Relation
+from repro.query import parse_query
+from repro.exceptions import MechanismConfigError, QueryStructureError
+
+
+class TestClamp:
+    def test_clamps_up_to_kth_largest(self):
+        rel = Relation(["A"], {(1,): 10, (2,): 7, (3,): 2, (4,): 1})
+        clamped = clamp_to_top_k(rel, 2)
+        assert dict(clamped.items()) == {(1,): 10, (2,): 7, (3,): 7, (4,): 7}
+
+    def test_k_larger_than_relation_is_identity(self):
+        rel = Relation(["A"], {(1,): 10, (2,): 7})
+        assert clamp_to_top_k(rel, 5) is rel
+
+    def test_never_decreases_counts(self):
+        rel = Relation(["A"], {(1,): 5, (2,): 3, (3,): 1})
+        clamped = clamp_to_top_k(rel, 1)
+        for row, cnt in rel.items():
+            assert clamped.multiplicity(row) >= cnt
+
+    def test_invalid_k(self):
+        with pytest.raises(MechanismConfigError):
+            clamp_to_top_k(Relation(["A"], [(1,)]), 0)
+
+
+class TestTopKSensitivity:
+    def test_upper_bounds_exact(self, fig3_query, fig3_db):
+        exact = tsens(fig3_query, fig3_db).local_sensitivity
+        for k in (1, 2, 3):
+            bound = tsens_topk(fig3_query, fig3_db, k=k).local_sensitivity
+            assert bound >= exact
+
+    def test_large_k_is_exact(self, fig3_query, fig3_db):
+        exact = tsens(fig3_query, fig3_db).local_sensitivity
+        assert tsens_topk(fig3_query, fig3_db, k=100).local_sensitivity == exact
+
+    def test_monotone_in_k(self, fig3_query, fig3_db):
+        bounds = [
+            tsens_topk(fig3_query, fig3_db, k=k).local_sensitivity
+            for k in (1, 2, 4, 100)
+        ]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_fig1_query(self, fig1_query, fig1_db):
+        exact = naive_local_sensitivity(fig1_query, fig1_db).local_sensitivity
+        assert tsens_topk(fig1_query, fig1_db, k=1).local_sensitivity >= exact
+        assert tsens_topk(fig1_query, fig1_db, k=50).local_sensitivity == exact
+
+    def test_method_label(self, fig3_query, fig3_db):
+        assert tsens_topk(fig3_query, fig3_db, k=2).method == "tsens-top2"
+
+    def test_disconnected_rejected(self):
+        q = parse_query("R(A), S(B)")
+        db = Database(
+            {"R": Relation(["A"], [(1,)]), "S": Relation(["B"], [(2,)])}
+        )
+        with pytest.raises(QueryStructureError):
+            tsens_topk(q, db, k=1)

@@ -1,0 +1,50 @@
+"""Unit tests for the independent result verifier."""
+
+import numpy as np
+
+from repro.core import local_sensitivity, tsens
+from repro.core.result import SensitiveTuple
+from repro.core.verify import verify_result
+from repro.datasets import random_acyclic_query, random_database
+
+
+class TestVerifyResult:
+    def test_fig1_result_verifies(self, fig1_query, fig1_db):
+        result = tsens(fig1_query, fig1_db)
+        report = verify_result(result, fig1_query, fig1_db, check_tables=True)
+        assert report.ok, str(report)
+        assert report.checked > 5
+
+    def test_path_result_verifies(self, fig3_query, fig3_db):
+        result = local_sensitivity(fig3_query, fig3_db)
+        report = verify_result(result, fig3_query, fig3_db, check_tables=True)
+        assert report.ok, str(report)
+
+    def test_detects_tampered_witness(self, fig1_query, fig1_db):
+        result = tsens(fig1_query, fig1_db)
+        result.witness = SensitiveTuple(
+            "R1", {"A": "a2", "B": "b2", "C": "c1"}, 999
+        )
+        report = verify_result(result, fig1_query, fig1_db)
+        assert not report.ok
+        assert any("claimed 999" in m for m in report.mismatches)
+
+    def test_random_results_verify(self):
+        rng = np.random.default_rng(31)
+        for _ in range(8):
+            query = random_acyclic_query(rng, num_atoms=3)
+            db = random_database(query, rng)
+            result = tsens(query, db)
+            report = verify_result(result, query, db, check_tables=True)
+            assert report.ok, str(report)
+
+    def test_selection_tables_verify(self, fig3_query, fig3_db):
+        filtered = fig3_query.with_selection("R2", lambda row: row["C"] == "c1")
+        result = tsens(filtered, fig3_db)
+        report = verify_result(result, filtered, fig3_db, check_tables=True)
+        assert report.ok, str(report)
+
+    def test_str_rendering(self, fig1_query, fig1_db):
+        result = tsens(fig1_query, fig1_db)
+        text = str(verify_result(result, fig1_query, fig1_db))
+        assert "verification OK" in text

@@ -1,0 +1,80 @@
+"""Unit tests for the Facebook ego-network generator."""
+
+import pytest
+
+from repro.datasets import generate_ego_network, graph_statistics, triangle_table
+from repro.engine import Relation
+from repro.exceptions import MechanismConfigError
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_ego_network(
+        nodes=60, directed_edges=600, num_circles=80, seed=5
+    )
+
+
+class TestTables:
+    def test_all_tables_present(self, db):
+        assert set(db.relation_names) == {"R1", "R2", "R3", "R4", "TRI"}
+
+    def test_edge_tables_are_binary(self, db):
+        for i in range(1, 5):
+            assert db.relation(f"R{i}").attributes == ("X", "Y")
+
+    def test_edges_bidirected(self, db):
+        # Circle edge tables include both directions of every edge.
+        for i in range(1, 5):
+            rel = db.relation(f"R{i}")
+            for (u, v), cnt in rel.items():
+                assert rel.multiplicity((v, u)) == cnt
+
+    def test_rank_mod_assignment_balances_tables(self, db):
+        # Size-descending round-robin: R1 gets ranks 1,5,9,... so table
+        # sizes must be (weakly) decreasing in table index.
+        sizes = [db.relation(f"R{i}").total_count() for i in range(1, 5)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_no_foreign_keys(self, db):
+        assert db.foreign_keys == ()
+
+
+class TestTriangleTable:
+    def test_triangles_close_over_r4(self, db):
+        r4 = db.relation("R4")
+        tri = db.relation("TRI")
+        for x, y, z in tri:
+            assert (x, y) in r4 and (y, z) in r4 and (z, x) in r4
+
+    def test_multiplicities_multiply(self):
+        edges = Relation(["X", "Y"], {(1, 2): 2, (2, 3): 1, (3, 1): 1})
+        tri = triangle_table(edges)
+        assert tri.multiplicity((1, 2, 3)) == 2
+
+    def test_empty_edges_no_triangles(self):
+        assert triangle_table(Relation(["X", "Y"], ())).is_empty()
+
+
+class TestDeterminismAndValidation:
+    def test_same_seed_same_graph(self):
+        a = generate_ego_network(nodes=40, directed_edges=300, num_circles=30, seed=2)
+        b = generate_ego_network(nodes=40, directed_edges=300, num_circles=30, seed=2)
+        for name in a.relation_names:
+            assert a.relation(name) == b.relation(name)
+
+    def test_statistics_report(self, db):
+        stats = graph_statistics(db)
+        assert set(stats) == set(db.relation_names)
+        assert all(size >= 0 for size in stats.values())
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(MechanismConfigError):
+            generate_ego_network(nodes=4)
+
+    def test_default_parameters_match_snap_profile(self):
+        db = generate_ego_network(seed=1)
+        total_edges = sum(
+            db.relation(f"R{i}").distinct_count() for i in range(1, 5)
+        )
+        # Same order of magnitude as the 6384 directed edges of ego 348.
+        assert 2000 <= total_edges <= 40000

@@ -1,0 +1,49 @@
+"""Unit tests for the random query/database generators."""
+
+import numpy as np
+
+from repro.datasets import random_acyclic_query, random_database, random_path_query
+from repro.query import is_acyclic, is_path_query
+
+
+class TestRandomAcyclicQuery:
+    def test_always_acyclic_and_connected(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            query = random_acyclic_query(rng, num_atoms=int(rng.integers(1, 6)))
+            assert query.is_connected()
+            assert is_acyclic(query)
+
+    def test_atom_count(self):
+        rng = np.random.default_rng(2)
+        assert len(random_acyclic_query(rng, num_atoms=4).atoms) == 4
+
+
+class TestRandomPathQuery:
+    def test_always_path(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            query = random_path_query(rng, length=int(rng.integers(1, 6)))
+            assert is_path_query(query)
+
+
+class TestRandomDatabase:
+    def test_valid_for_query(self):
+        rng = np.random.default_rng(4)
+        query = random_acyclic_query(rng, num_atoms=3)
+        db = random_database(query, rng)
+        query.validate_against(db)
+
+    def test_row_cap_respected(self):
+        rng = np.random.default_rng(5)
+        query = random_path_query(rng, length=3)
+        db = random_database(query, rng, max_rows=4)
+        for name in db.relation_names:
+            assert db.relation(name).total_count() <= 4
+
+    def test_allow_empty_false_gives_rows(self):
+        rng = np.random.default_rng(6)
+        query = random_path_query(rng, length=3)
+        db = random_database(query, rng, allow_empty=False)
+        for name in db.relation_names:
+            assert db.relation(name).total_count() >= 1

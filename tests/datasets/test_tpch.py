@@ -1,0 +1,86 @@
+"""Unit tests for the TPC-H generator."""
+
+import pytest
+
+from repro.datasets import generate_tpch, table_sizes
+from repro.datasets.tpch import SUPPLIERS_PER_PART
+from repro.exceptions import MechanismConfigError
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_tpch(0.001, seed=3)
+
+
+class TestCardinalities:
+    def test_scale_free_tables(self, db):
+        assert db.relation("Region").total_count() == 5
+        assert db.relation("Nation").total_count() == 25
+
+    def test_scaled_tables(self, db):
+        sizes = table_sizes(db)
+        assert sizes["Supplier"] == 10
+        assert sizes["Customer"] == 150
+        assert sizes["Part"] == 200
+        assert sizes["Orders"] == 1500
+        assert sizes["Partsupp"] == 200 * SUPPLIERS_PER_PART
+
+    def test_lineitem_between_1_and_7_per_order(self, db):
+        lines = db.relation("Lineitem").total_count()
+        orders = db.relation("Orders").total_count()
+        assert orders <= lines <= 7 * orders
+
+    def test_minimum_one_row_at_tiny_scale(self):
+        tiny = generate_tpch(1e-9, seed=0)
+        assert all(size >= 1 for size in table_sizes(tiny).values())
+
+    def test_invalid_scale(self):
+        with pytest.raises(MechanismConfigError):
+            generate_tpch(0.0)
+
+
+class TestReferentialIntegrity:
+    def test_nation_region_fk(self, db):
+        regions = db.relation("Region").column_values("RK")
+        assert db.relation("Nation").column_values("RK") <= regions
+
+    def test_orders_customer_fk(self, db):
+        customers = db.relation("Customer").column_values("CK")
+        assert db.relation("Orders").column_values("CK") <= customers
+
+    def test_lineitem_references_orders(self, db):
+        orders = db.relation("Orders").column_values("OK")
+        assert db.relation("Lineitem").column_values("OK") <= orders
+
+    def test_lineitem_references_partsupp_pairs(self, db):
+        partsupp = {row for row in db.relation("Partsupp")}
+        for ok, sk, pk in db.relation("Lineitem"):
+            assert (sk, pk) in partsupp
+
+    def test_partsupp_has_distinct_suppliers_per_part(self, db):
+        by_part = {}
+        for sk, pk in db.relation("Partsupp"):
+            by_part.setdefault(pk, []).append(sk)
+        for suppliers in by_part.values():
+            assert len(suppliers) == len(set(suppliers)) == SUPPLIERS_PER_PART
+
+    def test_keys_declared(self, db):
+        assert db.primary_key("Customer") == ("CK",)
+        children = {fk.child for fk in db.foreign_keys}
+        assert {"Nation", "Customer", "Orders", "Lineitem", "Partsupp"} <= children
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_tpch(0.0005, seed=7)
+        b = generate_tpch(0.0005, seed=7)
+        for name in a.relation_names:
+            assert a.relation(name) == b.relation(name)
+
+    def test_different_seed_different_data(self):
+        a = generate_tpch(0.0005, seed=7)
+        b = generate_tpch(0.0005, seed=8)
+        assert any(
+            a.relation(n) != b.relation(n)
+            for n in ("Customer", "Orders", "Lineitem")
+        )

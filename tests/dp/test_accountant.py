@@ -1,0 +1,42 @@
+"""Unit tests for the privacy accountant."""
+
+import pytest
+
+from repro.dp import BudgetAccountant
+from repro.exceptions import MechanismConfigError, PrivacyBudgetError
+
+
+class TestAccountant:
+    def test_spend_and_remaining(self):
+        acct = BudgetAccountant(1.0)
+        acct.spend(0.25, "estimate")
+        acct.spend(0.25, "svt")
+        assert acct.spent == pytest.approx(0.5)
+        assert acct.remaining == pytest.approx(0.5)
+
+    def test_overdraft_rejected(self):
+        acct = BudgetAccountant(1.0)
+        acct.spend(0.9)
+        with pytest.raises(PrivacyBudgetError):
+            acct.spend(0.2)
+
+    def test_float_drift_tolerated(self):
+        acct = BudgetAccountant(1.0)
+        for _ in range(10):
+            acct.spend(0.1)
+        assert acct.remaining == pytest.approx(0.0, abs=1e-9)
+
+    def test_ledger_groups_labels(self):
+        acct = BudgetAccountant(2.0)
+        acct.spend(0.5, "svt")
+        acct.spend(0.25, "svt")
+        acct.spend(1.0, "answer")
+        assert acct.ledger() == {"svt": 0.75, "answer": 1.0}
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(MechanismConfigError):
+            BudgetAccountant(0.0)
+
+    def test_nonpositive_spend_rejected(self):
+        with pytest.raises(MechanismConfigError):
+            BudgetAccountant(1.0).spend(0.0)

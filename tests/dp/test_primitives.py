@@ -1,0 +1,108 @@
+"""Unit tests for DP primitives (Laplace, SVT)."""
+
+import numpy as np
+import pytest
+
+from repro.dp import (
+    above_threshold,
+    laplace_confidence_radius,
+    laplace_mechanism,
+    laplace_noise,
+)
+from repro.exceptions import MechanismConfigError
+
+
+class TestLaplace:
+    def test_deterministic_under_seed(self):
+        a = laplace_mechanism(10.0, 2.0, 1.0, np.random.default_rng(5))
+        b = laplace_mechanism(10.0, 2.0, 1.0, np.random.default_rng(5))
+        assert a == b
+
+    def test_zero_sensitivity_returns_exact(self):
+        rng = np.random.default_rng(0)
+        assert laplace_mechanism(42, 0.0, 1.0, rng) == 42.0
+
+    def test_scale_controls_spread(self):
+        rng = np.random.default_rng(1)
+        tight = np.std([laplace_noise(1.0, rng) for _ in range(4000)])
+        loose = np.std([laplace_noise(10.0, rng) for _ in range(4000)])
+        assert loose > 5 * tight
+
+    def test_noise_mean_near_zero(self):
+        rng = np.random.default_rng(2)
+        draws = [laplace_noise(1.0, rng) for _ in range(8000)]
+        assert abs(np.mean(draws)) < 0.1
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(MechanismConfigError):
+            laplace_mechanism(1.0, 1.0, 0.0, np.random.default_rng(0))
+
+    def test_negative_sensitivity(self):
+        with pytest.raises(MechanismConfigError):
+            laplace_mechanism(1.0, -1.0, 1.0, np.random.default_rng(0))
+
+
+class TestConfidenceRadius:
+    def test_radius_grows_with_confidence(self):
+        assert laplace_confidence_radius(1.0, 0.99) > laplace_confidence_radius(
+            1.0, 0.5
+        )
+
+    def test_radius_scales_linearly(self):
+        assert laplace_confidence_radius(2.0, 0.9) == pytest.approx(
+            2 * laplace_confidence_radius(1.0, 0.9)
+        )
+
+    def test_empirical_coverage(self):
+        rng = np.random.default_rng(3)
+        radius = laplace_confidence_radius(1.0, 0.95)
+        draws = np.abs([laplace_noise(1.0, rng) for _ in range(8000)])
+        coverage = np.mean(draws <= radius)
+        assert 0.93 < coverage < 0.97
+
+    def test_invalid_confidence(self):
+        with pytest.raises(MechanismConfigError):
+            laplace_confidence_radius(1.0, 1.5)
+
+
+class TestAboveThreshold:
+    def test_finds_obvious_crossing(self):
+        rng = np.random.default_rng(4)
+        # Huge budget => negligible noise: first value above 0 is index 3.
+        values = [-100.0, -100.0, -100.0, 100.0, 100.0]
+        assert above_threshold(values, 0.0, epsilon=1000.0, rng=rng) == 3
+
+    def test_returns_none_when_all_below(self):
+        rng = np.random.default_rng(5)
+        values = [-100.0] * 5
+        assert above_threshold(values, 0.0, epsilon=1000.0, rng=rng) is None
+
+    def test_consumes_lazily(self):
+        rng = np.random.default_rng(6)
+        seen = []
+
+        def stream():
+            for i, v in enumerate([-100.0, 100.0, 100.0]):
+                seen.append(i)
+                yield v
+
+        index = above_threshold(stream(), 0.0, epsilon=1000.0, rng=rng)
+        assert index == 1
+        assert seen == [0, 1]  # never touched the third query
+
+    def test_sensitivity_scales_noise(self):
+        # With a tiny budget and huge sensitivity, decisions become noisy:
+        # over many trials the reported index should vary.
+        outcomes = set()
+        for seed in range(30):
+            rng = np.random.default_rng(seed)
+            outcomes.add(
+                above_threshold(
+                    [0.0] * 10, 0.0, epsilon=0.05, rng=rng, sensitivity=10.0
+                )
+            )
+        assert len(outcomes) > 3
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(MechanismConfigError):
+            above_threshold([1.0], 0.0, epsilon=-1.0, rng=np.random.default_rng(0))

@@ -1,0 +1,120 @@
+"""Unit tests for the TSensDP mechanism (Sec. 6.2 / Theorem 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.dp import TruncationOracle, run_tsens_dp
+from repro.engine import Database, Relation
+from repro.query import parse_query
+from repro.exceptions import MechanismConfigError
+
+
+@pytest.fixture
+def query():
+    return parse_query("Q(U,V,W) :- R(U,V), S(V,W)")
+
+
+@pytest.fixture
+def db():
+    rows_r = [(f"u{i}", "hot") for i in range(10)] + [
+        (f"x{i}", f"v{i}") for i in range(20)
+    ]
+    rows_s = [("hot", f"w{j}") for j in range(30)] + [
+        (f"v{i}", f"w{i}") for i in range(20)
+    ]
+    return Database(
+        {"R": Relation(["U", "V"], rows_r), "S": Relation(["V", "W"], rows_s)}
+    )
+
+
+class TestOutcome:
+    def test_fields_consistent(self, query, db):
+        out = run_tsens_dp(
+            query, db, primary="R", epsilon=1.0, ell=50,
+            rng=np.random.default_rng(1),
+        )
+        assert out.global_sensitivity == out.tau
+        assert 1 <= out.tau <= 50
+        assert out.true_count == 320
+        assert out.truncated_count <= out.true_count
+        assert out.bias == out.true_count - out.truncated_count
+
+    def test_budget_ledger_sums_to_epsilon(self, query, db):
+        out = run_tsens_dp(
+            query, db, primary="R", epsilon=0.7, ell=50,
+            rng=np.random.default_rng(2),
+        )
+        assert sum(out.ledger.values()) == pytest.approx(0.7)
+        assert out.epsilon_threshold == pytest.approx(0.35)
+
+    def test_deterministic_under_seed(self, query, db):
+        a = run_tsens_dp(
+            query, db, primary="R", epsilon=1.0, ell=50,
+            rng=np.random.default_rng(9),
+        )
+        b = run_tsens_dp(
+            query, db, primary="R", epsilon=1.0, ell=50,
+            rng=np.random.default_rng(9),
+        )
+        assert a.answer == b.answer and a.tau == b.tau
+
+    def test_clamps_negative_answers(self, query, db):
+        # Tiny epsilon => enormous noise; over several seeds we must never
+        # see a negative release.
+        for seed in range(20):
+            out = run_tsens_dp(
+                query, db, primary="R", epsilon=0.01, ell=50,
+                rng=np.random.default_rng(seed),
+            )
+            assert out.answer >= 0.0
+
+    def test_invalid_ell(self, query, db):
+        with pytest.raises(MechanismConfigError):
+            run_tsens_dp(query, db, primary="R", epsilon=1.0, ell=0)
+
+
+class TestAccuracy:
+    def test_large_epsilon_small_error(self, query, db):
+        errors = [
+            run_tsens_dp(
+                query, db, primary="R", epsilon=100.0, ell=64,
+                rng=np.random.default_rng(seed),
+            ).relative_error
+            for seed in range(10)
+        ]
+        assert sorted(errors)[len(errors) // 2] < 0.05
+
+    def test_oracle_reuse_matches_fresh(self, query, db):
+        oracle = TruncationOracle(query, db, "R")
+        reused = run_tsens_dp(
+            query, db, primary="R", epsilon=1.0, ell=50, oracle=oracle,
+            rng=np.random.default_rng(4),
+        )
+        fresh = run_tsens_dp(
+            query, db, primary="R", epsilon=1.0, ell=50,
+            rng=np.random.default_rng(4),
+        )
+        assert reused.answer == fresh.answer
+
+    def test_ell_one_truncates_heavily(self, query, db):
+        out = run_tsens_dp(
+            query, db, primary="R", epsilon=1.0, ell=1,
+            rng=np.random.default_rng(5),
+        )
+        assert out.tau == 1
+        # The hot rows (sensitivity 30) must be gone.
+        assert out.truncated_count <= 20
+
+    def test_tau_tracks_sensitivity_scale(self, query, db):
+        # With a generous budget the learned τ should land near the point
+        # where truncation stops biting (δ ∈ {1, 30} here): τ ≥ 30 keeps
+        # everything, and SVT with low noise should stop well below ell.
+        taus = [
+            run_tsens_dp(
+                query, db, primary="R", epsilon=50.0, ell=1000,
+                rng=np.random.default_rng(seed),
+            ).tau
+            for seed in range(10)
+        ]
+        median_tau = sorted(taus)[len(taus) // 2]
+        assert 30 <= median_tau <= 200

@@ -1,0 +1,147 @@
+"""Unit tests for :mod:`repro.engine.database` — instances, keys, domains."""
+
+import pytest
+
+from repro.engine.database import Database, ForeignKey
+from repro.engine.relation import Relation
+from repro.exceptions import SchemaError, UnknownRelationError
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {
+            "R": Relation(["A", "B"], [(1, 10), (2, 20)]),
+            "S": Relation(["B", "C"], [(10, 5), (10, 6), (30, 7)]),
+        }
+    )
+
+
+class TestAccessors:
+    def test_relation_lookup(self, db):
+        assert db.relation("R").total_count() == 2
+        assert db["S"].total_count() == 3
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(UnknownRelationError):
+            db.relation("T")
+
+    def test_contains_and_iter(self, db):
+        assert "R" in db and "T" not in db
+        assert list(db) == ["R", "S"]
+
+    def test_total_tuples(self, db):
+        assert db.total_tuples() == 5
+
+    def test_attribute_names_in_first_seen_order(self, db):
+        assert db.attribute_names() == ("A", "B", "C")
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(SchemaError):
+            Database({})
+
+
+class TestModification:
+    def test_add_tuple_copies(self, db):
+        grown = db.add_tuple("R", (3, 30))
+        assert grown.relation("R").total_count() == 3
+        assert db.relation("R").total_count() == 2
+
+    def test_remove_tuple(self, db):
+        shrunk = db.remove_tuple("S", (10, 5))
+        assert shrunk.relation("S").total_count() == 2
+
+    def test_with_relation_replaces(self, db):
+        swapped = db.with_relation("R", Relation(["A", "B"], ()))
+        assert swapped.relation("R").is_empty()
+
+
+class TestKeys:
+    def test_primary_key_declared(self):
+        db = Database(
+            {"R": Relation(["A"], [(1,)])}, primary_keys={"R": ("A",)}
+        )
+        assert db.primary_key("R") == ("A",)
+
+    def test_primary_key_undeclared_is_none(self, db):
+        assert db.primary_key("R") is None
+
+    def test_primary_key_unknown_attribute(self):
+        with pytest.raises(Exception):
+            Database(
+                {"R": Relation(["A"], [(1,)])}, primary_keys={"R": ("Z",)}
+            )
+
+    def test_foreign_key_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("S", ("B",), "R", ("A", "B"))
+
+    def test_foreign_key_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            Database(
+                {"R": Relation(["A"], [(1,)])},
+                foreign_keys=[ForeignKey("S", ("B",), "R", ("A",))],
+            )
+
+
+class TestCascadeDelete:
+    @pytest.fixture
+    def keyed_db(self):
+        return Database(
+            {
+                "Cust": Relation(["CK"], [(1,), (2,)]),
+                "Ord": Relation(["CK", "OK"], [(1, 100), (1, 101), (2, 200)]),
+                "Line": Relation(["OK", "N"], [(100, 0), (100, 1), (200, 0)]),
+            },
+            foreign_keys=[
+                ForeignKey("Ord", ("CK",), "Cust", ("CK",)),
+                ForeignKey("Line", ("OK",), "Ord", ("OK",)),
+            ],
+        )
+
+    def test_cascade_removes_transitively(self, keyed_db):
+        out = keyed_db.cascade_delete("Cust", (1,))
+        assert out.relation("Cust").total_count() == 1
+        assert dict(out.relation("Ord").items()) == {(2, 200): 1}
+        assert dict(out.relation("Line").items()) == {(200, 0): 1}
+
+    def test_cascade_leaf_deletion(self, keyed_db):
+        out = keyed_db.cascade_delete("Line", (100, 0))
+        assert out.relation("Ord").total_count() == 3  # no upward cascade
+
+    def test_original_untouched(self, keyed_db):
+        keyed_db.cascade_delete("Cust", (1,))
+        assert keyed_db.relation("Ord").total_count() == 3
+
+
+class TestDomains:
+    def test_active_domain(self, db):
+        assert db.active_domain("B", "S") == frozenset({10, 30})
+
+    def test_representative_domain_intersects_other_relations(self, db):
+        # B appears in R {10, 20} and S {10, 30}; w.r.t. R the domain is
+        # the active domain of B in the *other* relation S... intersected
+        # over all others, here just S.
+        assert db.representative_domain("B", "R") == frozenset({10, 30})
+
+    def test_representative_domain_example_3_1(self, fig1_db):
+        # Example 3.1: representative domain of A w.r.t. R1 is
+        # Σ_act(A,R2) ∩ Σ_act(A,R3) = {a1, a2}.
+        assert fig1_db.representative_domain("A", "R1") == frozenset(
+            {"a1", "a2"}
+        )
+
+    def test_exclusive_attribute_single_value(self, db):
+        # A appears only in R: the paper picks one arbitrary active value.
+        domain = db.representative_domain("A", "R")
+        assert len(domain) == 1
+        assert domain <= db.active_domain("A", "R")
+
+    def test_exclusive_attribute_empty_relation(self):
+        db = Database({"R": Relation(["A"], ())})
+        assert len(db.representative_domain("A", "R")) == 1
+
+    def test_representative_tuples_product(self, db):
+        tuples = list(db.representative_tuples("S"))
+        # B domain w.r.t. S: from R = {10, 20}; C exclusive: 1 value.
+        assert len(tuples) == 2

@@ -1,0 +1,120 @@
+"""Unit tests for CSV/JSON persistence of relations and databases."""
+
+import json
+
+import pytest
+
+from repro.engine import Database, ForeignKey, Relation
+from repro.engine.io import (
+    database_from_json,
+    database_to_json,
+    load_database,
+    load_database_csv_dir,
+    read_relation_csv,
+    save_database,
+    write_relation_csv,
+)
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def bag():
+    return Relation(["A", "B"], {("x", "1"): 2, ("y", "2"): 1})
+
+
+class TestCsvRoundTrip:
+    def test_compact_round_trip(self, bag, tmp_path):
+        path = tmp_path / "r.csv"
+        write_relation_csv(bag, path)
+        assert read_relation_csv(path) == bag
+
+    def test_expanded_round_trip(self, bag, tmp_path):
+        path = tmp_path / "r.csv"
+        write_relation_csv(bag, path, expand_counts=True)
+        assert read_relation_csv(path) == bag
+
+    def test_converters(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("A,B\n1,2\n1,2\n3,4\n")
+        rel = read_relation_csv(path, converters={"A": int, "B": int})
+        assert rel.multiplicity((1, 2)) == 2
+
+    def test_count_column_merges_with_duplicates(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("A,__count__\nx,2\nx,3\n")
+        rel = read_relation_csv(path)
+        assert rel.multiplicity(("x",)) == 5
+
+    def test_zero_count_rows_dropped(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("A,__count__\nx,0\n")
+        assert read_relation_csv(path).is_empty()
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_relation_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("A,B\n1\n")
+        with pytest.raises(SchemaError):
+            read_relation_csv(path)
+
+    def test_bad_count_rejected(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("A,__count__\nx,many\n")
+        with pytest.raises(SchemaError):
+            read_relation_csv(path)
+
+
+class TestJsonRoundTrip:
+    @pytest.fixture
+    def db(self, bag):
+        return Database(
+            {"R": bag, "S": Relation(["B", "C"], [("1", "z")])},
+            primary_keys={"R": ("A",)},
+            foreign_keys=[ForeignKey("S", ("B",), "R", ("B",))],
+        )
+
+    def test_file_round_trip(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.relation("R") == db.relation("R")
+        assert loaded.primary_key("R") == ("A",)
+        assert loaded.foreign_keys == db.foreign_keys
+
+    def test_dict_round_trip_is_json_serialisable(self, db):
+        document = database_to_json(db)
+        json.dumps(document)  # must not raise
+        loaded = database_from_json(document)
+        assert loaded.relation("S") == db.relation("S")
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(SchemaError):
+            database_from_json({"relations": {}})
+
+
+class TestCsvDirectory:
+    def test_loads_all_files(self, bag, tmp_path):
+        write_relation_csv(bag, tmp_path / "R.csv")
+        write_relation_csv(Relation(["C"], [("u",)]), tmp_path / "S.csv")
+        db = load_database_csv_dir(tmp_path)
+        assert set(db.relation_names) == {"R", "S"}
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_database_csv_dir(tmp_path)
+
+    def test_end_to_end_sensitivity_from_csv(self, tmp_path):
+        """A downstream-user flow: CSV files in, local sensitivity out."""
+        from repro.core import local_sensitivity
+        from repro.query import parse_query
+
+        (tmp_path / "R.csv").write_text("A,B\n1,2\n3,2\n")
+        (tmp_path / "S.csv").write_text("B,C\n2,9\n")
+        db = load_database_csv_dir(tmp_path)
+        result = local_sensitivity(parse_query("R(A,B), S(B,C)"), db)
+        assert result.local_sensitivity == 2

@@ -1,0 +1,85 @@
+"""Unit tests for :mod:`repro.engine.schema`."""
+
+import pytest
+
+from repro.engine.schema import Schema
+from repro.exceptions import SchemaError, UnknownAttributeError
+
+
+class TestConstruction:
+    def test_preserves_order(self):
+        schema = Schema(["B", "A", "C"])
+        assert schema.attributes == ("B", "A", "C")
+
+    def test_arity_and_len(self):
+        schema = Schema(["A", "B"])
+        assert schema.arity == 2
+        assert len(schema) == 2
+
+    def test_empty_schema_allowed(self):
+        assert Schema(()).arity == 0
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", "A"])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", ""])
+
+    def test_rejects_non_string(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", 3])
+
+
+class TestLookups:
+    def test_index_of(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.index_of("B") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            Schema(["A"]).index_of("Z")
+
+    def test_contains(self):
+        schema = Schema(["A", "B"])
+        assert "A" in schema
+        assert "Z" not in schema
+
+    def test_project_positions_follows_argument_order(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.project_positions(["C", "A"]) == (2, 0)
+
+
+class TestCombinators:
+    def test_common_in_self_order(self):
+        left = Schema(["A", "B", "C"])
+        right = Schema(["C", "B", "Z"])
+        assert left.common(right) == ("B", "C")
+
+    def test_union_appends_new_attributes(self):
+        left = Schema(["A", "B"])
+        right = Schema(["B", "C"])
+        assert left.union(right).attributes == ("A", "B", "C")
+
+    def test_restricted_to(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.restricted_to(["C", "A"]).attributes == ("A", "C")
+
+    def test_restricted_to_unknown_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            Schema(["A"]).restricted_to(["B"])
+
+
+class TestEquality:
+    def test_equal_schemas(self):
+        assert Schema(["A", "B"]) == Schema(["A", "B"])
+
+    def test_order_matters(self):
+        assert Schema(["A", "B"]) != Schema(["B", "A"])
+
+    def test_hashable(self):
+        assert {Schema(["A"]): 1}[Schema(["A"])] == 1
+
+    def test_iteration(self):
+        assert list(Schema(["X", "Y"])) == ["X", "Y"]

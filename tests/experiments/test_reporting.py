@@ -1,0 +1,63 @@
+"""Unit tests for experiment reporting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import format_table, format_value, median, ratio
+
+
+class TestFormatValue:
+    def test_ints_grouped(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_small_floats(self):
+        assert format_value(0.12345) == "0.1235"
+
+    def test_extreme_floats_compact(self):
+        assert format_value(1.5e9) == "1.5e+09"
+        assert format_value(0.00001) == "1e-05"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_bool_passthrough(self):
+        assert format_value(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_value("q1") == "q1"
+
+
+class TestFormatTable:
+    def test_renders_rows(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text  # renders without KeyError
+
+
+class TestStatistics:
+    def test_ratio(self):
+        assert ratio(10, 4) == 2.5
+        assert ratio(1, 0) == float("inf")
+
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 2, 3]) == 2.5
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])

@@ -1,0 +1,43 @@
+"""Unit tests for the experiment runner plumbing."""
+
+import pytest
+
+from repro.experiments.runner import (
+    facebook_database,
+    measure_workload,
+    timed,
+    tpch_database,
+)
+from repro.workloads import q1_workload, triangle_workload
+
+
+class TestCaching:
+    def test_tpch_database_memoised(self):
+        assert tpch_database(0.0001, 3) is tpch_database(0.0001, 3)
+
+    def test_different_scales_differ(self):
+        a = tpch_database(0.0001, 3)
+        b = tpch_database(0.0002, 3)
+        assert a.total_tuples() < b.total_tuples()
+
+
+class TestTimed:
+    def test_returns_value_and_duration(self):
+        value, seconds = timed(lambda: 41 + 1)
+        assert value == 42
+        assert seconds >= 0
+
+
+class TestMeasureWorkload:
+    def test_tpch_measurement(self):
+        measurement = measure_workload(q1_workload(), tpch_database(0.0001, 3))
+        assert measurement.workload == "q1"
+        assert measurement.tsens_ls <= measurement.elastic_ls
+        assert measurement.count >= 0
+        assert measurement.tsens_seconds > 0
+        assert measurement.result.method in ("path", "tsens")
+
+    def test_facebook_measurement(self, tiny_facebook):
+        measurement = measure_workload(triangle_workload(), tiny_facebook)
+        assert measurement.workload == "q4"
+        assert measurement.tsens_ls <= measurement.elastic_ls

@@ -1,0 +1,158 @@
+"""Integration tests asserting the paper's headline *shape* claims.
+
+These are the reproduction's acceptance tests: they run miniature versions
+of each experiment and check the qualitative findings of Sec. 7 — who wins,
+in which direction, and by large-vs-small margins — without pinning
+absolute numbers (our data is synthetic and the engine is pure Python).
+"""
+
+import pytest
+
+from repro.experiments import fig6a, fig6b, fig7, param_analysis, table1, table2
+
+TPCH_SCALES = (0.0002,)
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def fig6a_rows():
+    return fig6a.run(scales=TPCH_SCALES, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return table1.run(seed=SEED)
+
+
+class TestFig6aShapes:
+    def test_covers_all_queries(self, fig6a_rows):
+        assert {row["query"] for row in fig6a_rows} == {"q1", "q2", "q3"}
+
+    def test_tsens_never_looser_than_elastic(self, fig6a_rows):
+        for row in fig6a_rows:
+            assert row["tsens_ls"] <= row["elastic_ls"]
+
+    def test_cyclic_gap_is_orders_of_magnitude(self, fig6a_rows):
+        q3 = next(row for row in fig6a_rows if row["query"] == "q3")
+        assert q3["elastic_over_tsens"] > 100
+
+    def test_report_renders(self, fig6a_rows):
+        text = fig6a.report(fig6a_rows)
+        assert "Figure 6a" in text and "q3" in text
+
+
+class TestFig6bShapes:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig6b.run(scale=0.0002, seed=SEED)
+
+    def test_one_row_per_relation(self, rows):
+        assert [row["relation"] for row in rows] == [
+            "R", "N", "S", "PS", "P", "C", "O", "L",
+        ]
+
+    def test_lineitem_skipped(self, rows):
+        lineitem = next(row for row in rows if row["relation"] == "L")
+        assert "skip" in lineitem["most_sensitive_tuple"]
+
+    def test_tuple_sensitivity_below_elastic(self, rows):
+        for row in rows:
+            if "skip" in row["most_sensitive_tuple"]:
+                continue
+            assert row["tuple_sensitivity"] <= row["elastic_sensitivity"]
+
+    def test_report_renders(self, rows):
+        assert "Figure 6b" in fig6b.report(rows)
+
+
+class TestFig7Shapes:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig7.run(scales=TPCH_SCALES, seed=SEED, repetitions=1)
+
+    def test_elastic_is_fastest(self, rows):
+        for row in rows:
+            assert row["elastic_seconds"] <= row["tsens_seconds"]
+
+    def test_all_timings_positive(self, rows):
+        for row in rows:
+            assert row["tsens_seconds"] > 0
+            assert row["evaluation_seconds"] > 0
+
+    def test_report_renders(self, rows):
+        assert "Figure 7" in fig7.report(rows)
+
+
+class TestTable1Shapes:
+    def test_covers_all_queries(self, table1_rows):
+        assert [row["query"] for row in table1_rows] == [
+            "q4", "qw", "q_cycle", "q_star",
+        ]
+
+    def test_tsens_tighter_everywhere(self, table1_rows):
+        for row in table1_rows:
+            assert row["tsens_ls"] <= row["elastic_ls"]
+
+    def test_cycle_gap_large(self, table1_rows):
+        cycle = next(r for r in table1_rows if r["query"] == "q_cycle")
+        assert cycle["elastic_over_tsens"] > 10
+
+    def test_elastic_faster_than_tsens(self, table1_rows):
+        for row in table1_rows:
+            assert row["elastic_seconds"] <= row["tsens_seconds"]
+
+    def test_report_renders(self, table1_rows):
+        assert "Table 1" in table1.report(table1_rows)
+
+
+class TestTable2Shapes:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2.run(
+            tpch_scale=0.0005, n_runs=5, seed=SEED, queries=("q1", "q4", "q_star")
+        )
+
+    def test_two_mechanisms_per_query(self, rows):
+        queries = [row["query"] for row in rows]
+        assert queries.count("q4") == 2
+
+    def test_tsensdp_beats_privsql_on_q4_and_qstar(self, rows):
+        """The paper's central DP claim, on the queries where PrivSQL's
+        frequency bound explodes (q4 triangle, q★)."""
+        for name in ("q4", "q_star"):
+            tsens_row = next(
+                r for r in rows if r["query"] == name and r["mechanism"] == "TSensDP"
+            )
+            privsql_row = next(
+                r for r in rows if r["query"] == name and r["mechanism"] == "PrivSQL"
+            )
+            assert (
+                tsens_row["median_rel_error"] <= privsql_row["median_rel_error"]
+            )
+            assert (
+                tsens_row["median_global_sens"] < privsql_row["median_global_sens"]
+            )
+
+    def test_report_renders(self, rows):
+        assert "Table 2" in table2.report(rows)
+
+
+class TestParamAnalysisShapes:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return param_analysis.run(
+            bounds=(1, 100, 1000, 100_000), n_runs=5, seed=SEED
+        )
+
+    def test_tiny_ell_has_large_bias(self, rows):
+        assert rows[0]["ell"] == 1
+        assert rows[0]["median_rel_bias"] > 0.5
+
+    def test_sweet_spot_beats_extremes(self, rows):
+        errors = {row["ell"]: row["median_rel_error"] for row in rows}
+        best = min(errors.values())
+        assert errors[1] > best
+        assert errors[100_000] > best
+
+    def test_report_renders(self, rows):
+        assert "ℓ sweep" in param_analysis.report(rows)

@@ -1,0 +1,61 @@
+"""Property tests: persistence round trips preserve bags exactly."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Database, Relation
+from repro.engine.io import (
+    database_from_json,
+    database_to_json,
+    read_relation_csv,
+    write_relation_csv,
+)
+
+# CSV stores values as text, so generate string-valued relations for the
+# CSV property and arbitrary JSON-safe scalars for the JSON property.
+csv_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    min_size=1,
+    max_size=6,
+).filter(lambda s: s.strip() == s and s != "__count__")
+csv_rows = st.dictionaries(
+    st.tuples(csv_values, csv_values),
+    st.integers(min_value=1, max_value=50),
+    max_size=8,
+)
+
+json_scalars = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(max_size=5),
+)
+json_rows = st.dictionaries(
+    st.tuples(json_scalars, json_scalars),
+    st.integers(min_value=1, max_value=10**12),
+    max_size=8,
+)
+
+
+class TestCsvRoundTrip:
+    @given(csv_rows, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, rows, expand):
+        import tempfile
+        from pathlib import Path
+
+        # Expanded mode writes one line per occurrence — keep counts small.
+        if expand:
+            rows = {k: min(v, 5) for k, v in rows.items()}
+        relation = Relation(["A", "B"], rows)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "r.csv"
+            write_relation_csv(relation, path, expand_counts=expand)
+            assert read_relation_csv(path) == relation
+
+
+class TestJsonRoundTrip:
+    @given(json_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, rows):
+        db = Database({"R": Relation(["A", "B"], rows)})
+        loaded = database_from_json(database_to_json(db))
+        assert loaded.relation("R") == db.relation("R")

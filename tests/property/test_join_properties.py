@@ -1,0 +1,101 @@
+"""Property-based tests for the bag-relational algebra."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import (
+    Relation,
+    difference,
+    group_by,
+    join,
+    semijoin,
+    symmetric_difference_size,
+    union_all,
+)
+
+values = st.integers(min_value=0, max_value=3)
+rows_ab = st.lists(st.tuples(values, values), max_size=8)
+rows_bc = st.lists(st.tuples(values, values), max_size=8)
+
+
+def rel(attrs, rows):
+    return Relation(attrs, rows)
+
+
+class TestJoinAlgebra:
+    @given(rows_ab, rows_bc)
+    @settings(max_examples=100, deadline=None)
+    def test_join_total_symmetric(self, left_rows, right_rows):
+        left = rel(["A", "B"], left_rows)
+        right = rel(["B", "C"], right_rows)
+        assert (
+            join(left, right).total_count() == join(right, left).total_count()
+        )
+
+    @given(rows_ab, rows_bc)
+    @settings(max_examples=100, deadline=None)
+    def test_join_matches_nested_loop(self, left_rows, right_rows):
+        left = rel(["A", "B"], left_rows)
+        right = rel(["B", "C"], right_rows)
+        expected = 0
+        for (a, b), lcnt in left.items():
+            for (b2, c), rcnt in right.items():
+                if b == b2:
+                    expected += lcnt * rcnt
+        assert join(left, right).total_count() == expected
+
+    @given(rows_ab, rows_bc, st.lists(st.tuples(values, values), max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_join_associative_in_counts(self, r1, r2, r3):
+        a = rel(["A", "B"], r1)
+        b = rel(["B", "C"], r2)
+        c = rel(["C", "D"], r3)
+        left_first = join(join(a, b), c).total_count()
+        right_first = join(a, join(b, c)).total_count()
+        assert left_first == right_first
+
+    @given(rows_ab)
+    @settings(max_examples=60, deadline=None)
+    def test_group_by_preserves_total(self, rows):
+        relation = rel(["A", "B"], rows)
+        assert group_by(relation, ("A",)).total_count() == relation.total_count()
+        assert group_by(relation, ()).total_count() == relation.total_count()
+
+    @given(rows_ab, rows_bc)
+    @settings(max_examples=60, deadline=None)
+    def test_semijoin_is_subbag(self, left_rows, right_rows):
+        left = rel(["A", "B"], left_rows)
+        right = rel(["B", "C"], right_rows)
+        reduced = semijoin(left, right)
+        for row, cnt in reduced.items():
+            assert left.multiplicity(row) == cnt
+        # Semijoin reduction never changes the join result.
+        assert join(reduced, right).total_count() == join(left, right).total_count()
+
+
+class TestBagSetAlgebra:
+    @given(rows_ab, rows_ab)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_difference_is_metric_like(self, rows_x, rows_y):
+        x = rel(["A", "B"], rows_x)
+        y = rel(["A", "B"], rows_y)
+        assert symmetric_difference_size(x, x) == 0
+        assert symmetric_difference_size(x, y) == symmetric_difference_size(y, x)
+
+    @given(rows_ab, rows_ab)
+    @settings(max_examples=60, deadline=None)
+    def test_difference_union_inverse(self, rows_x, rows_y):
+        x = rel(["A", "B"], rows_x)
+        y = rel(["A", "B"], rows_y)
+        # (x ∪ y) ∸ y == x under bag semantics.
+        assert difference(union_all([x, y]), y) == x
+
+    @given(rows_ab, rows_ab)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, rows_x, rows_y):
+        x = rel(["A", "B"], rows_x)
+        y = rel(["A", "B"], rows_y)
+        empty = rel(["A", "B"], [])
+        d_xy = symmetric_difference_size(x, y)
+        d_xe = symmetric_difference_size(x, empty)
+        d_ey = symmetric_difference_size(empty, y)
+        assert d_xy <= d_xe + d_ey

@@ -1,0 +1,72 @@
+"""Property tests for the truncation layer (Sec. 6.2 guarantees)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dp import TruncationOracle, tsens_truncate
+from repro.datasets import random_acyclic_query, random_database
+from repro.evaluation import count_query
+
+seeds = st.integers(min_value=0, max_value=10_000)
+thresholds = st.integers(min_value=0, max_value=12)
+
+
+def make_instance(seed):
+    rng = np.random.default_rng(seed)
+    query = random_acyclic_query(rng, num_atoms=3)
+    db = random_database(query, rng, max_rows=5)
+    primary = query.relation_names[int(rng.integers(0, 3))]
+    return query, db, primary, rng
+
+
+class TestOracleClosedForm:
+    @given(seeds, thresholds)
+    @settings(max_examples=60, deadline=None)
+    def test_suffix_sum_equals_reevaluation(self, seed, threshold):
+        query, db, primary, _ = make_instance(seed)
+        oracle = TruncationOracle(query, db, primary)
+        assert oracle.truncated_count(
+            threshold
+        ) == oracle.truncated_count_reevaluated(threshold)
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_and_bounded(self, seed):
+        query, db, primary, _ = make_instance(seed)
+        oracle = TruncationOracle(query, db, primary)
+        previous = 0
+        for threshold in range(0, 12):
+            current = oracle.truncated_count(threshold)
+            assert previous <= current <= oracle.base_count
+            previous = current
+        assert oracle.truncated_count(10**9) == oracle.base_count
+
+
+class TestGlobalSensitivityGuarantee:
+    @given(seeds, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_neighbouring_truncated_counts_differ_by_at_most_tau(
+        self, seed, tau
+    ):
+        """Theorem 6.1's core: Q(T_TSens(Q, ·, τ)) has global sensitivity τ.
+
+        We probe neighbours of D (add/remove one primary tuple), recompute
+        the truncation on each neighbour, and check the count moves by ≤ τ.
+        """
+        query, db, primary, rng = make_instance(seed)
+
+        def released(instance):
+            return count_query(
+                query, tsens_truncate(query, instance, primary, tau)
+            )
+
+        base = released(db)
+        relation = db.relation(primary)
+        # Deletions of existing tuples.
+        for row in list(relation)[:4]:
+            assert abs(released(db.remove_tuple(primary, row)) - base) <= tau
+        # Insertions of random domain tuples.
+        arity = relation.schema.arity
+        for _ in range(4):
+            row = tuple(int(rng.integers(0, 4)) for _ in range(arity))
+            assert abs(released(db.add_tuple(primary, row)) - base) <= tau

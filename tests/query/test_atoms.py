@@ -1,0 +1,40 @@
+"""Unit tests for :mod:`repro.query.atoms`."""
+
+import pytest
+
+from repro.query.atoms import Atom
+from repro.exceptions import SchemaError
+
+
+class TestAtom:
+    def test_basic(self):
+        atom = Atom("R", ("A", "B"))
+        assert atom.relation == "R"
+        assert atom.variables == ("A", "B")
+        assert atom.arity == 2
+
+    def test_variable_set(self):
+        assert Atom("R", ("A", "B")).variable_set == frozenset({"A", "B"})
+
+    def test_accepts_list(self):
+        assert Atom("R", ["A"]).variables == ("A",)
+
+    def test_repeated_variable_rejected(self):
+        with pytest.raises(SchemaError):
+            Atom("R", ("A", "A"))
+
+    def test_empty_variables_rejected(self):
+        with pytest.raises(SchemaError):
+            Atom("R", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Atom("", ("A",))
+
+    def test_str(self):
+        assert str(Atom("R", ("A", "B"))) == "R(A, B)"
+
+    def test_hashable_and_frozen(self):
+        atom = Atom("R", ("A",))
+        assert atom == Atom("R", ("A",))
+        assert hash(atom) == hash(Atom("R", ("A",)))

@@ -1,0 +1,83 @@
+"""Unit tests for query classification (path / doubly acyclic / cyclic)."""
+
+import pytest
+
+from repro.query import (
+    classify,
+    gyo_join_tree,
+    is_doubly_acyclic,
+    is_doubly_acyclic_tree,
+    is_path_query,
+    parse_query,
+    path_order,
+)
+
+
+class TestPathOrder:
+    def test_simple_chain(self, fig3_query):
+        assert path_order(fig3_query) == ("R1", "R2", "R3", "R4")
+
+    def test_chain_given_out_of_order(self):
+        # Either traversal direction is a valid path order.
+        q = parse_query("R3(C,D), R1(A,B), R2(B,C)")
+        assert path_order(q) in (("R1", "R2", "R3"), ("R3", "R2", "R1"))
+
+    def test_single_atom_is_trivial_path(self):
+        assert path_order(parse_query("R(A,B)")) == ("R",)
+
+    def test_unary_endpoints(self):
+        q = parse_query("R(RK), N(RK,NK), C(NK,CK)")
+        assert path_order(q) == ("R", "N", "C")
+
+    def test_star_is_not_path(self, fig1_query):
+        assert path_order(fig1_query) is None
+
+    def test_triangle_is_not_path(self, triangle_query):
+        assert path_order(triangle_query) is None
+
+    def test_variable_in_three_atoms_not_path(self):
+        q = parse_query("R(A,B), S(B,C), T(B,D)")
+        assert path_order(q) is None
+
+    def test_multi_attribute_boundaries(self):
+        q = parse_query("R(A,B,C), S(B,C,D), T(D,E)")
+        assert path_order(q) == ("R", "S", "T")
+
+    def test_is_path_query(self, fig3_query, fig1_query):
+        assert is_path_query(fig3_query)
+        assert not is_path_query(fig1_query)
+
+
+class TestDoublyAcyclic:
+    def test_path_queries_are_doubly_acyclic(self, fig3_query):
+        assert is_doubly_acyclic(fig3_query)
+
+    def test_fig1_query(self, fig1_query):
+        assert is_doubly_acyclic(fig1_query)
+
+    def test_cyclic_query_is_not(self, triangle_query):
+        assert not is_doubly_acyclic(triangle_query)
+
+    def test_hard_local_join_from_paper(self):
+        # Sec. 5.2's example: R1(A,B,C) with children R2(A,B), R3(B,C),
+        # R4(C,A) — the children botjoins form a triangle at R1's
+        # multiplicity-table step.
+        q = parse_query("R1(A,B,C), R2(A,B), R3(B,C), R4(C,A)")
+        tree = gyo_join_tree(q)
+        assert not is_doubly_acyclic_tree(tree)
+        assert not is_doubly_acyclic(q)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "text,label",
+        [
+            ("R1(A,B), R2(B,C), R3(C,D), R4(D,E)", "path"),
+            ("R1(A,B,C), R2(A,B,D), R3(A,E), R4(B,F)", "doubly-acyclic"),
+            ("R1(A,B,C), R2(A,B), R3(B,C), R4(C,A)", "acyclic"),
+            ("R1(A,B), R2(B,C), R3(C,A)", "cyclic"),
+            ("R(A,B), S(C,D)", "disconnected"),
+        ],
+    )
+    def test_labels(self, text, label):
+        assert classify(parse_query(text)) == label

@@ -1,0 +1,115 @@
+"""Unit tests for :mod:`repro.query.conjunctive`."""
+
+import pytest
+
+from repro.engine import Database, Relation
+from repro.query.atoms import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.exceptions import SchemaError, SelfJoinError, UnknownRelationError
+
+
+@pytest.fixture
+def chain():
+    return ConjunctiveQuery(
+        [Atom("R", ("A", "B")), Atom("S", ("B", "C")), Atom("T", ("C", "D"))],
+        name="chain",
+    )
+
+
+class TestStructure:
+    def test_relation_names_in_body_order(self, chain):
+        assert chain.relation_names == ("R", "S", "T")
+
+    def test_variables_first_appearance_order(self, chain):
+        assert chain.variables == ("A", "B", "C", "D")
+
+    def test_self_join_rejected(self):
+        with pytest.raises(SelfJoinError):
+            ConjunctiveQuery([Atom("R", ("A",)), Atom("R", ("B",))])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(SchemaError):
+            ConjunctiveQuery([])
+
+    def test_atom_lookup(self, chain):
+        assert chain.atom("S").variables == ("B", "C")
+        with pytest.raises(UnknownRelationError):
+            chain.atom("Z")
+
+    def test_occurrences(self, chain):
+        assert chain.occurrences("B") == ("R", "S")
+        assert chain.occurrences("A") == ("R",)
+
+    def test_join_variables(self, chain):
+        assert chain.join_variables() == ("B", "C")
+
+    def test_exclusive_variables(self, chain):
+        assert chain.exclusive_variables("R") == ("A",)
+        assert chain.exclusive_variables("S") == ()
+
+    def test_str_round_trips_shape(self, chain):
+        assert str(chain) == "chain(A, B, C, D) :- R(A, B), S(B, C), T(C, D)"
+
+
+class TestConnectivity:
+    def test_connected(self, chain):
+        assert chain.is_connected()
+
+    def test_disconnected_components(self):
+        query = ConjunctiveQuery(
+            [Atom("R", ("A", "B")), Atom("S", ("C",)), Atom("T", ("B", "D"))]
+        )
+        components = query.connected_components()
+        assert len(components) == 2
+        names = [tuple(a.relation for a in comp) for comp in components]
+        assert names == [("R", "T"), ("S",)]
+
+    def test_subquery_keeps_selections(self, chain):
+        filtered = chain.with_selection("R", lambda row: row["A"] == 1)
+        sub = filtered.subquery([filtered.atom("R"), filtered.atom("S")])
+        assert "R" in sub.selections
+        assert "T" not in sub.relation_names
+
+
+class TestDataBinding:
+    @pytest.fixture
+    def db(self):
+        return Database(
+            {
+                "R": Relation(["x", "y"], [(1, 2), (3, 2)]),
+                "S": Relation(["u", "v"], [(2, 7)]),
+                "T": Relation(["p", "q"], [(7, 8)]),
+            }
+        )
+
+    def test_bound_relation_renames_positionally(self, chain, db):
+        bound = chain.bound_relation(db, "R")
+        assert bound.attributes == ("A", "B")
+        assert bound.multiplicity((1, 2)) == 1
+
+    def test_bound_relation_applies_selection(self, chain, db):
+        filtered = chain.with_selection("R", lambda row: row["A"] == 1)
+        bound = filtered.bound_relation(db, "R")
+        assert dict(bound.items()) == {(1, 2): 1}
+
+    def test_bound_relation_arity_mismatch(self, chain):
+        db = Database({"R": Relation(["x"], [(1,)])})
+        with pytest.raises(SchemaError):
+            chain.bound_relation(db, "R")
+
+    def test_validate_against(self, chain, db):
+        chain.validate_against(db)  # no raise
+
+    def test_validate_missing_relation(self, chain):
+        db = Database({"R": Relation(["x", "y"], ())})
+        with pytest.raises(UnknownRelationError):
+            chain.validate_against(db)
+
+    def test_with_selection_unknown_relation(self, chain):
+        with pytest.raises(UnknownRelationError):
+            chain.with_selection("Z", lambda row: True)
+
+    def test_with_selection_is_copy(self, chain):
+        filtered = chain.with_selection("R", lambda row: False)
+        assert "R" not in chain.selections
+        assert "R" in filtered.selections

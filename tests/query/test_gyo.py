@@ -1,0 +1,100 @@
+"""Unit tests for GYO decomposition and hypergraphs (Fig. 2 of the paper)."""
+
+import pytest
+
+from repro.query import (
+    Hypergraph,
+    gyo_join_forest,
+    gyo_join_tree,
+    gyo_reduce,
+    is_acyclic,
+    parse_query,
+)
+from repro.exceptions import NotAcyclicError, QueryStructureError
+
+
+class TestHypergraph:
+    def test_of_query(self, fig1_query):
+        hg = Hypergraph.of_query(fig1_query)
+        assert hg.edge("R1") == frozenset({"A", "B", "C"})
+        assert hg.vertices == frozenset({"A", "B", "C", "D", "E", "F"})
+
+    def test_incident_edges(self, fig1_query):
+        hg = Hypergraph.of_query(fig1_query)
+        assert set(hg.incident_edges("A")) == {"R1", "R2", "R3"}
+
+    def test_connectivity(self):
+        hg = Hypergraph({"R": {"A"}, "S": {"A", "B"}, "T": {"C"}})
+        assert not hg.is_connected()
+        assert hg.components() == [("R", "S"), ("T",)]
+
+    def test_restrict(self):
+        hg = Hypergraph({"R": {"A"}, "S": {"B"}})
+        assert hg.restrict(["R"]).edge_names == ("R",)
+
+
+class TestAcyclicity:
+    def test_fig1_query_is_acyclic(self, fig1_query):
+        assert is_acyclic(fig1_query)
+
+    def test_triangle_is_cyclic(self, triangle_query):
+        assert not is_acyclic(triangle_query)
+
+    def test_four_cycle_is_cyclic(self):
+        q = parse_query("R1(A,B), R2(B,C), R3(C,D), R4(D,A)")
+        assert not is_acyclic(q)
+
+    def test_path_is_acyclic(self, fig3_query):
+        assert is_acyclic(fig3_query)
+
+    def test_triangle_with_covering_edge_is_acyclic(self):
+        # Adding an edge covering all three vertices makes it α-acyclic.
+        q = parse_query("R1(A,B), R2(B,C), R3(C,A), W(A,B,C)")
+        assert is_acyclic(q)
+
+    def test_gyo_reduce_reports_eliminations(self, fig1_query):
+        acyclic, eliminations = gyo_reduce(Hypergraph.of_query(fig1_query))
+        assert acyclic
+        assert len(eliminations) == 4
+
+
+class TestJoinTree:
+    def test_fig2_tree_shape(self, fig1_query):
+        # The paper's Fig. 2: R2(ABD), R3(AE), R4(BF) are all ears of
+        # R1(ABC) — every non-root node must attach to a node sharing its
+        # join variables; the running-intersection property is checked by
+        # the constructor.
+        tree = gyo_join_tree(fig1_query)
+        assert set(tree.node_ids) == {"R1", "R2", "R3", "R4"}
+        assert tree.covers_query(fig1_query)
+
+    def test_path_query_tree_is_a_chain(self, fig3_query):
+        tree = gyo_join_tree(fig3_query)
+        assert tree.max_degree() <= 2
+
+    def test_cyclic_query_raises(self, triangle_query):
+        with pytest.raises(NotAcyclicError):
+            gyo_join_tree(triangle_query)
+
+    def test_disconnected_query_raises(self):
+        q = parse_query("R(A,B), S(C,D)")
+        with pytest.raises(QueryStructureError):
+            gyo_join_tree(q)
+
+    def test_join_forest_for_disconnected(self):
+        q = parse_query("R(A,B), S(C,D), T(D,E)")
+        forest = gyo_join_forest(q)
+        assert len(forest) == 2
+        sizes = sorted(len(tree.node_ids) for tree in forest)
+        assert sizes == [1, 2]
+
+    def test_single_atom_tree(self):
+        q = parse_query("R(A,B)")
+        tree = gyo_join_tree(q)
+        assert tree.root == "R"
+        assert tree.max_degree() == 0
+
+    def test_identical_edges(self):
+        q = parse_query("R(A,B), S(A,B)")
+        tree = gyo_join_tree(q)
+        assert set(tree.node_ids) == {"R", "S"}

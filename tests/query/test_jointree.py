@@ -1,0 +1,136 @@
+"""Unit tests for :mod:`repro.query.jointree` — tree validation/traversal."""
+
+import pytest
+
+from repro.query import parse_query
+from repro.query.jointree import DecompositionTree, TreeNode, join_tree_from_parents
+from repro.exceptions import DecompositionError
+
+
+def node(nid, rels, attrs):
+    return TreeNode(nid, tuple(rels), frozenset(attrs))
+
+
+@pytest.fixture
+def chain_tree():
+    nodes = [
+        node("a", ["Ra"], {"A", "B"}),
+        node("b", ["Rb"], {"B", "C"}),
+        node("c", ["Rc"], {"C", "D"}),
+    ]
+    return DecompositionTree(nodes, root="a", parent={"b": "a", "c": "b"})
+
+
+class TestValidation:
+    def test_duplicate_node_id(self):
+        with pytest.raises(DecompositionError):
+            DecompositionTree(
+                [node("a", ["R"], {"A"}), node("a", ["S"], {"A"})],
+                root="a",
+                parent={},
+            )
+
+    def test_unknown_root(self):
+        with pytest.raises(DecompositionError):
+            DecompositionTree([node("a", ["R"], {"A"})], root="z", parent={})
+
+    def test_root_with_parent(self):
+        with pytest.raises(DecompositionError):
+            DecompositionTree(
+                [node("a", ["R"], {"A"}), node("b", ["S"], {"A"})],
+                root="a",
+                parent={"a": "b", "b": "a"},
+            )
+
+    def test_orphan_node(self):
+        with pytest.raises(DecompositionError):
+            DecompositionTree(
+                [node("a", ["R"], {"A"}), node("b", ["S"], {"A"})],
+                root="a",
+                parent={},
+            )
+
+    def test_relation_in_two_nodes(self):
+        with pytest.raises(DecompositionError):
+            DecompositionTree(
+                [node("a", ["R"], {"A"}), node("b", ["R"], {"A"})],
+                root="a",
+                parent={"b": "a"},
+            )
+
+    def test_running_intersection_violation(self):
+        # A appears at both ends of a chain but not in the middle.
+        nodes = [
+            node("a", ["Ra"], {"A", "B"}),
+            node("b", ["Rb"], {"B", "C"}),
+            node("c", ["Rc"], {"C", "A"}),
+        ]
+        with pytest.raises(DecompositionError):
+            DecompositionTree(nodes, root="a", parent={"b": "a", "c": "b"})
+
+
+class TestTraversal:
+    def test_post_order_children_first(self, chain_tree):
+        order = chain_tree.post_order()
+        assert order.index("c") < order.index("b") < order.index("a")
+
+    def test_pre_order_parents_first(self, chain_tree):
+        order = chain_tree.pre_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_parent_children_neighbours(self, chain_tree):
+        assert chain_tree.parent("b") == "a"
+        assert chain_tree.parent("a") is None
+        assert chain_tree.children("a") == ("b",)
+        assert chain_tree.neighbours("b") == ()
+        assert chain_tree.is_leaf("c")
+
+    def test_shared_with_parent(self, chain_tree):
+        assert chain_tree.shared_with_parent("b") == frozenset({"B"})
+        assert chain_tree.shared_with_parent("a") == frozenset()
+
+    def test_node_of_relation(self, chain_tree):
+        assert chain_tree.node_of_relation("Rb") == "b"
+        with pytest.raises(DecompositionError):
+            chain_tree.node_of_relation("Rz")
+
+
+class TestStatistics:
+    def test_max_degree_counts_parent_edge(self, chain_tree):
+        assert chain_tree.max_degree() == 2  # middle node: child + parent
+
+    def test_width(self, chain_tree):
+        assert chain_tree.width() == 1
+
+    def test_star_degree(self):
+        nodes = [node("hub", ["H"], {"A"})] + [
+            node(f"s{i}", [f"S{i}"], {"A"}) for i in range(3)
+        ]
+        tree = DecompositionTree(
+            nodes, root="hub", parent={f"s{i}": "hub" for i in range(3)}
+        )
+        assert tree.max_degree() == 3
+
+
+class TestRerooting:
+    def test_reroot_preserves_nodes(self, chain_tree):
+        rerooted = chain_tree.rerooted("c")
+        assert rerooted.root == "c"
+        assert set(rerooted.node_ids) == set(chain_tree.node_ids)
+        assert rerooted.parent("a") == "b"
+
+    def test_reroot_same_root_is_identity(self, chain_tree):
+        assert chain_tree.rerooted("a") is chain_tree
+
+
+class TestCoversQuery:
+    def test_covers(self):
+        q = parse_query("Ra(A,B), Rb(B,C)")
+        tree = join_tree_from_parents(q, root="Ra", parent={"Rb": "Ra"})
+        assert tree.covers_query(q)
+
+    def test_wrong_attributes_do_not_cover(self):
+        q = parse_query("Ra(A,B), Rb(B,C)")
+        nodes = [node("Ra", ["Ra"], {"A", "B"}), node("Rb", ["Rb"], {"B"})]
+        tree = DecompositionTree(nodes, root="Ra", parent={"Rb": "Ra"})
+        assert not tree.covers_query(q)

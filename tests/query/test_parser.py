@@ -1,0 +1,67 @@
+"""Unit tests for the datalog-style query parser."""
+
+import pytest
+
+from repro.query import parse_query
+from repro.exceptions import ParseError
+
+
+class TestParsing:
+    def test_with_head(self):
+        q = parse_query("Q(A,B,C) :- R1(A,B), R2(B,C)")
+        assert q.name == "Q"
+        assert q.relation_names == ("R1", "R2")
+        assert q.variables == ("A", "B", "C")
+
+    def test_body_only(self):
+        q = parse_query("R1(A,B), R2(B,C)")
+        assert q.relation_names == ("R1", "R2")
+
+    def test_whitespace_insensitive(self):
+        q = parse_query("  Q( A , B )   :-   R ( A , B )  ")
+        assert q.relation_names == ("R",)
+
+    def test_name_override(self):
+        q = parse_query("Q(A) :- R(A)", name="custom")
+        assert q.name == "custom"
+
+    def test_underscored_identifiers(self):
+        q = parse_query("my_rel(var_1, Var2)")
+        assert q.atom("my_rel").variables == ("var_1", "Var2")
+
+
+class TestErrors:
+    def test_empty_string(self):
+        with pytest.raises(ParseError):
+            parse_query("")
+
+    def test_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("not a query!!!")
+
+    def test_missing_comma(self):
+        with pytest.raises(ParseError):
+            parse_query("R(A,B) S(B,C)")
+
+    def test_head_must_be_single_atom(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(A), P(B) :- R(A,B)")
+
+    def test_head_missing_variable_rejected(self):
+        # Full CQs project nothing away.
+        with pytest.raises(ParseError):
+            parse_query("Q(A) :- R(A,B)")
+
+    def test_head_extra_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(A,B,Z) :- R(A,B)")
+
+    def test_empty_parentheses(self):
+        with pytest.raises(ParseError):
+            parse_query("R()")
+
+    def test_self_join_propagates(self):
+        from repro.exceptions import SelfJoinError
+
+        with pytest.raises(SelfJoinError):
+            parse_query("R(A,B), R(B,C)")

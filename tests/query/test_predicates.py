@@ -1,0 +1,108 @@
+"""Unit tests for the predicate DSL."""
+
+import pytest
+
+from repro.query.predicates import (
+    And,
+    Compare,
+    Member,
+    Not,
+    Or,
+    TruePredicate,
+    parse_predicate,
+)
+from repro.exceptions import ParseError
+
+
+class TestCompare:
+    def test_equality(self):
+        assert Compare("A", "=", 5)({"A": 5})
+        assert not Compare("A", "=", 5)({"A": 6})
+
+    def test_ordering(self):
+        assert Compare("A", "<", 5)({"A": 4})
+        assert Compare("A", ">=", 5)({"A": 5})
+        assert not Compare("A", ">", 5)({"A": 5})
+
+    def test_numeric_coercion_of_row_value(self):
+        assert Compare("A", "=", 5)({"A": "5"})
+        assert not Compare("A", "<", 5)({"A": "not a number"})
+
+    def test_string_comparison(self):
+        assert Compare("A", "=", "x")({"A": "x"})
+
+    def test_unknown_operator(self):
+        with pytest.raises(ParseError):
+            Compare("A", "~", 5)
+
+    def test_incomparable_types_false(self):
+        assert not Compare("A", "<", "x")({"A": (1, 2)})
+
+
+class TestCombinators:
+    def test_and_or_not(self):
+        p = (Compare("A", "=", 1) & Compare("B", "=", 2)) | ~Compare("C", "=", 3)
+        assert p({"A": 1, "B": 2, "C": 3})
+        assert p({"A": 0, "B": 0, "C": 4})
+        assert not p({"A": 0, "B": 2, "C": 3})
+
+    def test_member(self):
+        p = Member("A", frozenset({1, 2}))
+        assert p({"A": 1}) and not p({"A": 3})
+
+    def test_true_predicate(self):
+        assert TruePredicate()({"anything": 0})
+
+    def test_str_round_trips_through_parser(self):
+        p = parse_predicate("A = 1 and not B in {2, 3}")
+        again = parse_predicate(str(p))
+        for row in ({"A": 1, "B": 2}, {"A": 1, "B": 9}, {"A": 0, "B": 9}):
+            assert p(row) == again(row)
+
+
+class TestParser:
+    def test_simple_comparison(self):
+        assert parse_predicate("A >= 3")({"A": 3})
+
+    def test_precedence_and_over_or(self):
+        p = parse_predicate("A = 1 or A = 2 and B = 9")
+        assert p({"A": 1, "B": 0})       # or-branch
+        assert p({"A": 2, "B": 9})
+        assert not p({"A": 2, "B": 0})
+
+    def test_parentheses(self):
+        p = parse_predicate("(A = 1 or A = 2) and B = 9")
+        assert not p({"A": 1, "B": 0})
+
+    def test_membership_with_strings(self):
+        p = parse_predicate("C in {'x', 'y'}")
+        assert p({"C": "x"}) and not p({"C": "z"})
+
+    def test_membership_with_bare_words(self):
+        p = parse_predicate("C in {xx, yy}")
+        assert p({"C": "xx"})
+
+    def test_floats_and_negatives(self):
+        p = parse_predicate("A > -1.5")
+        assert p({"A": 0}) and not p({"A": -2})
+
+    def test_double_equals(self):
+        assert parse_predicate("A == 1")({"A": 1})
+
+    @pytest.mark.parametrize(
+        "text", ["", "A", "A =", "= 1", "A in {1", "A in {}", "A = 1 garbage", "(A = 1"]
+    )
+    def test_errors(self, text):
+        with pytest.raises(ParseError):
+            parse_predicate(text)
+
+
+class TestIntegrationWithSelections:
+    def test_predicate_in_query(self, fig3_query, fig3_db):
+        from repro.core import local_sensitivity, naive_local_sensitivity
+
+        predicate = parse_predicate("D = 'd1'")
+        filtered = fig3_query.with_selection("R3", predicate)
+        fast = local_sensitivity(filtered, fig3_db)
+        slow = naive_local_sensitivity(filtered, fig3_db)
+        assert fast.local_sensitivity == slow.local_sensitivity

@@ -1,0 +1,154 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def csv_data(tmp_path):
+    data = tmp_path / "data"
+    data.mkdir()
+    (data / "R.csv").write_text("A,B\n1,2\n3,2\n")
+    (data / "S.csv").write_text("B,C\n2,9\n")
+    return data
+
+
+class TestSensitivityCommand:
+    def test_prints_local_sensitivity(self, csv_data, capsys):
+        code = main(
+            ["sensitivity", "--query", "R(A,B), S(B,C)", "--data", str(csv_data)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "local sensitivity: 2" in out
+        assert "witness" in out
+
+    def test_method_naive(self, csv_data, capsys):
+        code = main(
+            [
+                "sensitivity", "--query", "R(A,B), S(B,C)",
+                "--data", str(csv_data), "--method", "naive",
+            ]
+        )
+        assert code == 0
+        assert "method           : naive" in capsys.readouterr().out
+
+    def test_parse_error_is_reported(self, csv_data, capsys):
+        code = main(
+            ["sensitivity", "--query", "!!!", "--data", str(csv_data)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_int_columns(self, csv_data, capsys):
+        code = main(
+            [
+                "sensitivity", "--query", "R(A,B), S(B,C)",
+                "--data", str(csv_data), "--int-columns",
+            ]
+        )
+        assert code == 0
+
+
+class TestCountCommand:
+    def test_counts(self, csv_data, capsys):
+        code = main(["count", "--query", "R(A,B), S(B,C)", "--data", str(csv_data)])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+
+class TestGenerateCommand:
+    def test_tpch_to_json(self, tmp_path, capsys):
+        out_file = tmp_path / "tpch.json"
+        code = main(
+            [
+                "generate", "tpch", "--scale", "0.0001",
+                "--seed", "1", "--output", str(out_file),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out_file.read_text())
+        assert "Lineitem" in document["relations"]
+
+    def test_generated_json_feeds_sensitivity(self, tmp_path, capsys):
+        out_file = tmp_path / "tpch.json"
+        main(
+            [
+                "generate", "tpch", "--scale", "0.0001",
+                "--seed", "1", "--output", str(out_file),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "sensitivity",
+                "--query", "Nation(RK,NK), Customer(NK,CK)",
+                "--data", str(out_file),
+            ]
+        )
+        assert code == 0
+        assert "local sensitivity:" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_fig6a_small(self, capsys):
+        code = main(
+            ["experiment", "fig6a", "--scales", "0.0001", "--seed", "3"]
+        )
+        assert code == 0
+        assert "Figure 6a" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        code = main(["experiment", "table1", "--seed", "3"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_params_few_runs(self, capsys):
+        code = main(["experiment", "params", "--runs", "2", "--seed", "3"])
+        assert code == 0
+        assert "ℓ sweep" in capsys.readouterr().out
+
+
+class TestWhereClauses:
+    def test_where_filters(self, csv_data, capsys):
+        code = main(
+            [
+                "count", "--query", "R(A,B), S(B,C)", "--data", str(csv_data),
+                "--where", "R: A = '1'",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_where_in_sensitivity(self, csv_data, capsys):
+        code = main(
+            [
+                "sensitivity", "--query", "R(A,B), S(B,C)",
+                "--data", str(csv_data), "--where", "R: A != '1'",
+            ]
+        )
+        assert code == 0
+        assert "local sensitivity" in capsys.readouterr().out
+
+    def test_malformed_where(self, csv_data, capsys):
+        code = main(
+            [
+                "count", "--query", "R(A,B), S(B,C)", "--data", str(csv_data),
+                "--where", "no colon here",
+            ]
+        )
+        assert code == 2
+
+
+class TestExplainCommand:
+    def test_explain_renders(self, csv_data, capsys):
+        code = main(
+            ["explain", "--query", "R(A,B), S(B,C)", "--data", str(csv_data)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TSens explanation" in out
+        assert "multiplicity tables:" in out

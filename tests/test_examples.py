@@ -1,0 +1,46 @@
+"""Smoke tests: every example script must run to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "TSens local sensitivity : 4" in proc.stdout
+
+    def test_query_explanation(self):
+        proc = run_example("query_explanation.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "most impactful single flight" in proc.stdout
+
+    def test_tpch_sensitivity_tiny_scale(self):
+        proc = run_example("tpch_sensitivity.py", "0.0002")
+        assert proc.returncode == 0, proc.stderr
+        assert "TSens LS" in proc.stdout
+        assert "q3" in proc.stdout
+
+    def test_facebook_privacy(self):
+        proc = run_example("facebook_privacy.py", "1.0")
+        assert proc.returncode == 0, proc.stderr
+        assert "TSensDP" in proc.stdout and "PrivSQL" in proc.stdout
+
+    def test_truncation_tradeoff(self):
+        proc = run_example("truncation_tradeoff.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "threshold sweep" in proc.stdout

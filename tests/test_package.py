@@ -1,0 +1,62 @@
+"""Package-level sanity: public API surface and metadata."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.engine",
+    "repro.evaluation",
+    "repro.query",
+    "repro.core",
+    "repro.baselines",
+    "repro.dp",
+    "repro.datasets",
+    "repro.workloads",
+    "repro.experiments",
+]
+
+
+class TestPublicApi:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_top_level_quickstart_docstring_example(self):
+        # The snippet in repro.__doc__ must keep working.
+        from repro import Database, Relation, local_sensitivity, parse_query
+
+        q = parse_query("Q(A,B,C) :- R(A,B), S(B,C)")
+        db = Database(
+            {
+                "R": Relation(["A", "B"], [(1, 2)]),
+                "S": Relation(["B", "C"], [(2, 3), (2, 4)]),
+            }
+        )
+        assert local_sensitivity(q, db).local_sensitivity == 2
+
+    def test_exception_hierarchy(self):
+        from repro import exceptions
+
+        for name in (
+            "SchemaError",
+            "QueryStructureError",
+            "NotAcyclicError",
+            "SelfJoinError",
+            "DecompositionError",
+            "ParseError",
+            "PrivacyBudgetError",
+            "MechanismConfigError",
+            "UnknownRelationError",
+            "UnknownAttributeError",
+        ):
+            cls = getattr(exceptions, name)
+            assert issubclass(cls, exceptions.ReproError)

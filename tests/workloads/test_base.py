@@ -1,0 +1,31 @@
+"""Unit tests for the Workload container."""
+
+from repro.engine import Database, Relation
+from repro.query import parse_query
+from repro.workloads.base import Workload
+
+
+class TestWorkload:
+    def test_prepared_applies_transform(self):
+        base = Database({"R": Relation(["A"], [(1,), (2,)])})
+
+        def halve(db):
+            rel = db.relation("R")
+            kept = {row: cnt for row, cnt in rel.items() if row[0] == 1}
+            return db.with_relation("R", Relation(rel.schema, kept))
+
+        workload = Workload(
+            name="w",
+            query=parse_query("R(A)"),
+            prepare=halve,
+        )
+        assert workload.prepared(base).relation("R").total_count() == 1
+
+    def test_defaults(self):
+        workload = Workload(
+            name="w", query=parse_query("R(A)"), prepare=lambda db: db
+        )
+        assert workload.tree is None
+        assert workload.primary is None
+        assert workload.ell == 100
+        assert workload.skip_relations == ()

@@ -1,0 +1,69 @@
+"""Unit tests for the Facebook workload definitions (Fig. 5b)."""
+
+import pytest
+
+from repro.query import classify, is_acyclic, is_path_query
+from repro.workloads import (
+    cycle_workload,
+    facebook_workloads,
+    path_workload,
+    star_workload,
+    triangle_workload,
+)
+
+
+class TestTriangle:
+    def test_cyclic_with_fig5_hypertree(self):
+        workload = triangle_workload()
+        assert classify(workload.query) == "cyclic"
+        tree = workload.tree
+        assert set(tree.node("g12").relations) == {"R1", "R2"}
+        assert tree.node("g3").relations == ("R3",)
+        assert tree.covers_query(workload.query)
+
+    def test_runs_on_data(self, tiny_facebook):
+        workload = triangle_workload()
+        workload.query.validate_against(workload.prepared(tiny_facebook))
+
+
+class TestPath:
+    def test_is_path(self):
+        assert is_path_query(path_workload().query)
+
+    def test_ell_matches_paper(self):
+        assert path_workload().ell == 25_000
+
+
+class TestCycle:
+    def test_cyclic_with_two_merged_nodes(self):
+        workload = cycle_workload()
+        assert classify(workload.query) == "cyclic"
+        assert set(workload.tree.node("g12").relations) == {"R1", "R2"}
+        assert set(workload.tree.node("g34").relations) == {"R3", "R4"}
+        assert workload.tree.covers_query(workload.query)
+
+
+class TestStar:
+    def test_acyclic_reconstruction(self):
+        # The q★ reconstruction must be acyclic — the paper lists only q4
+        # and q◦ as non-acyclic Facebook queries (see DESIGN.md).
+        query = star_workload().query
+        assert is_acyclic(query)
+        assert set(query.relation_names) == {"R1", "R2", "TRI"}
+
+    def test_runs_on_data(self, tiny_facebook):
+        workload = star_workload()
+        workload.query.validate_against(workload.prepared(tiny_facebook))
+
+
+class TestCollection:
+    def test_order_and_names(self):
+        names = [w.name for w in facebook_workloads()]
+        assert names == ["q4", "qw", "q_cycle", "q_star"]
+
+    def test_primary_is_r2_everywhere(self):
+        assert all(w.primary == "R2" for w in facebook_workloads())
+
+    def test_prepare_is_identity(self, tiny_facebook):
+        for workload in facebook_workloads():
+            assert workload.prepared(tiny_facebook) is tiny_facebook

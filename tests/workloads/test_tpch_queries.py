@@ -1,0 +1,85 @@
+"""Unit tests for the TPC-H workload definitions (Fig. 5a)."""
+
+import pytest
+
+from repro.query import classify, is_acyclic, is_path_query
+from repro.workloads import q1_workload, q2_workload, q3_workload, tpch_workloads
+
+
+class TestQ1:
+    def test_is_path_query(self):
+        assert is_path_query(q1_workload().query)
+
+    def test_prepared_views(self, tiny_tpch):
+        workload = q1_workload()
+        db = workload.prepared(tiny_tpch)
+        workload.query.validate_against(db)
+        # L is the bag projection of Lineitem onto OK.
+        assert db.relation("L").attributes == ("OK",)
+        assert (
+            db.relation("L").total_count()
+            == tiny_tpch.relation("Lineitem").total_count()
+        )
+
+    def test_policy(self):
+        workload = q1_workload()
+        assert workload.primary == "C"
+        assert workload.ell == 100
+
+    def test_fk_chain_for_privsql(self, tiny_tpch):
+        db = q1_workload().prepared(tiny_tpch)
+        children = {fk.child for fk in db.foreign_keys}
+        assert {"N", "C", "O", "L"} <= children
+
+
+class TestQ2:
+    def test_acyclic_not_path(self):
+        query = q2_workload().query
+        assert is_acyclic(query)
+        assert not is_path_query(query)
+
+    def test_tree_covers(self):
+        workload = q2_workload()
+        assert workload.tree.covers_query(workload.query)
+        assert workload.tree.width() == 1
+
+    def test_prepared_views(self, tiny_tpch):
+        workload = q2_workload()
+        db = workload.prepared(tiny_tpch)
+        workload.query.validate_against(db)
+        assert db.relation("S").attributes == ("SK",)
+
+
+class TestQ3:
+    def test_cyclic(self):
+        assert classify(q3_workload().query) == "cyclic"
+
+    def test_hypertree_matches_fig5a(self):
+        tree = q3_workload().tree
+        assert tree.root == "gRNL"
+        assert set(tree.node("gRNL").relations) == {"R", "N", "L"}
+        assert set(tree.node("gOC").relations) == {"O", "C"}
+        assert set(tree.node("gSP").relations) == {"S", "P"}
+        assert tree.node("gPS").relations == ("PS",)
+        assert tree.width() == 3
+
+    def test_tree_valid_for_query(self):
+        workload = q3_workload()
+        assert workload.tree.covers_query(workload.query)
+
+    def test_lineitem_skipped(self):
+        # (OK, SK, PK) is a superkey of the join output, so δ(L) ≤ 1.
+        assert q3_workload().skip_relations == ("L",)
+
+    def test_prepared_views(self, tiny_tpch):
+        workload = q3_workload()
+        db = workload.prepared(tiny_tpch)
+        workload.query.validate_against(db)
+
+
+class TestCollection:
+    def test_order_and_names(self):
+        assert [w.name for w in tpch_workloads()] == ["q1", "q2", "q3"]
+
+    def test_all_have_primaries(self):
+        assert all(w.primary for w in tpch_workloads())
