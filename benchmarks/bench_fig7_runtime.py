@@ -4,6 +4,14 @@ pytest-benchmark separately times, per TPC-H query, (a) the TSens pass,
 (b) the Elastic static analysis, and (c) the count-only Yannakakis
 evaluation.  The figure's claims: Elastic ≪ evaluation ≈ TSens (within a
 small constant factor).
+
+The module doubles as a standalone backend-comparison script::
+
+    PYTHONPATH=src python benchmarks/bench_fig7_runtime.py --backend columnar
+
+times TSens and the count evaluation per query on the requested backend
+*and* on the python reference, and prints the per-query and aggregate
+speedups (the columnar engine's headline number).
 """
 
 import pytest
@@ -53,3 +61,105 @@ def test_fig7_evaluation_time(benchmark, tpch_base, name):
         rounds=3,
         iterations=1,
     )
+
+
+# --------------------------------------------------------------- script mode
+def _best_of(fn, rounds):
+    import time
+
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_backend(backend, scale, seed, rounds):
+    """Per-query TSens + count wall times (best of ``rounds``) on ``backend``."""
+    from repro.datasets import generate_tpch
+
+    base = generate_tpch(scale, seed=seed, backend=backend)
+    results = {}
+    for name, workload in WORKLOADS.items():
+        db = workload.prepared(base)
+        results[name] = {
+            "tsens_seconds": _best_of(
+                lambda: local_sensitivity(
+                    workload.query, db, tree=workload.tree,
+                    skip_relations=workload.skip_relations,
+                ),
+                rounds,
+            ),
+            "count_seconds": _best_of(
+                lambda: count_query(workload.query, db, tree=workload.tree),
+                rounds,
+            ),
+        }
+    return results
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from conftest import SEED, TPCH_SCALE
+
+    parser = argparse.ArgumentParser(
+        description="Figure 7 runtimes per backend, with python-reference speedups."
+    )
+    parser.add_argument(
+        "--backend", default="columnar", choices=("python", "columnar"),
+        help="backend to report (python skips the comparison run)",
+    )
+    parser.add_argument("--scale", type=float, default=TPCH_SCALE)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--json", type=Path, default=None,
+        help="also write the full result document to this path",
+    )
+    args = parser.parse_args()
+
+    timed = {args.backend: run_backend(args.backend, args.scale, args.seed, args.rounds)}
+    if args.backend != "python":
+        timed["python"] = run_backend("python", args.scale, args.seed, args.rounds)
+
+    document = {"scale": args.scale, "seed": args.seed, "backends": timed}
+    print(f"fig7 runtimes  scale={args.scale}  seed={args.seed}  rounds={args.rounds}")
+    for name in WORKLOADS:
+        line = f"  {name}:"
+        for backend_name, results in timed.items():
+            entry = results[name]
+            line += (
+                f"  {backend_name}: tsens={entry['tsens_seconds']*1e3:8.2f}ms"
+                f" count={entry['count_seconds']*1e3:8.2f}ms"
+            )
+        print(line)
+
+    if "python" in timed and args.backend != "python":
+        fast, ref = timed[args.backend], timed["python"]
+        speedups = {}
+        for name in WORKLOADS:
+            speedups[name] = {
+                metric: ref[name][metric] / max(fast[name][metric], 1e-9)
+                for metric in ("tsens_seconds", "count_seconds")
+            }
+        ref_total = sum(v[m] for v in ref.values() for m in v)
+        fast_total = sum(v[m] for v in fast.values() for m in v)
+        overall = ref_total / max(fast_total, 1e-9)
+        document["speedup_vs_python"] = {"per_query": speedups, "overall": overall}
+        print(f"speedup ({args.backend} vs python):")
+        for name, entry in speedups.items():
+            print(
+                f"  {name}: tsens {entry['tsens_seconds']:.1f}x,"
+                f" count {entry['count_seconds']:.1f}x"
+            )
+        print(f"  overall (total wall time): {overall:.1f}x")
+
+    if args.json is not None:
+        args.json.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")

@@ -3,7 +3,17 @@
 Scales are chosen so the whole suite finishes in minutes on a laptop while
 preserving every shape claim; pass larger scales through the experiment
 modules (``python -m repro.experiments.fig6a``) for paper-sized runs.
+
+The suite is backend-parametrised: ``pytest benchmarks/ --backend columnar``
+runs every benchmark on the vectorized columnar engine.  Each run emits a
+machine-readable ``benchmarks/BENCH_<backend>.json`` with per-test wall
+times so the performance trajectory of both backends is tracked over time
+(compare the two files for the python-vs-columnar picture).
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -13,18 +23,74 @@ TPCH_SCALE = 0.0005
 SEED = 0
 
 
-@pytest.fixture(scope="session")
-def tpch_base():
-    return generate_tpch(TPCH_SCALE, seed=SEED)
-
-
-@pytest.fixture(scope="session")
-def tpch_small():
-    return generate_tpch(0.0001, seed=SEED)
-
-
-@pytest.fixture(scope="session")
-def facebook_base():
-    return generate_ego_network(
-        nodes=120, directed_edges=2000, num_circles=250, seed=SEED
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend",
+        action="store",
+        default="python",
+        choices=("python", "columnar"),
+        help="execution backend the benchmark fixtures materialise data on",
     )
+
+
+def pytest_configure(config):
+    config._bench_wall_times = {}
+
+
+@pytest.fixture(scope="session")
+def backend(request):
+    return request.config.getoption("--backend")
+
+
+@pytest.fixture(scope="session")
+def tpch_base(backend):
+    return generate_tpch(TPCH_SCALE, seed=SEED, backend=backend)
+
+
+@pytest.fixture(scope="session")
+def tpch_small(backend):
+    return generate_tpch(0.0001, seed=SEED, backend=backend)
+
+
+@pytest.fixture(scope="session")
+def facebook_base(backend):
+    return generate_ego_network(
+        nodes=120, directed_edges=2000, num_circles=250, seed=SEED,
+        backend=backend,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _record_wall_time(request):
+    """Record per-test wall time for the BENCH_<backend>.json report."""
+    start = time.perf_counter()
+    yield
+    request.config._bench_wall_times[request.node.nodeid] = (
+        time.perf_counter() - start
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    config = session.config
+    times = getattr(config, "_bench_wall_times", None)
+    if not times or exitstatus != 0:
+        # A failed/interrupted run must not clobber good trajectory data.
+        return
+    backend = config.getoption("--backend")
+    out = Path(__file__).resolve().parent / f"BENCH_{backend}.json"
+    # Merge into any existing report so filtered runs (-k, single file)
+    # update only the tests they actually ran.
+    timings = {}
+    if out.exists():
+        try:
+            timings = json.loads(out.read_text()).get("timings_seconds", {})
+        except (ValueError, OSError):
+            timings = {}
+    timings.update({node: round(t, 6) for node, t in times.items()})
+    payload = {
+        "backend": backend,
+        "tpch_scale": TPCH_SCALE,
+        "seed": SEED,
+        "timings_seconds": dict(sorted(timings.items())),
+    }
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")

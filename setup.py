@@ -1,3 +1,36 @@
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_here = Path(__file__).resolve().parent
+_readme = _here / "README.md"
+
+setup(
+    name="repro-tsens",
+    version="0.2.0",
+    description=(
+        "Local sensitivities of counting queries with joins (TSens) with a "
+        "pluggable python/columnar execution backend"
+    ),
+    long_description=_readme.read_text() if _readme.exists() else "",
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+        "bench": ["pytest", "pytest-benchmark"],
+        "datasets": ["networkx"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Topic :: Database",
+    ],
+)

@@ -22,6 +22,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.engine.backend import BACKEND_NAMES, DEFAULT_BACKEND
 from repro.engine.io import load_database, load_database_csv_dir, save_database
 from repro.evaluation import count_query
 from repro.query import parse_query
@@ -29,7 +30,7 @@ from repro.core import local_sensitivity
 from repro.exceptions import ReproError
 
 
-def _load_data(path_text: str, int_columns: bool):
+def _load_data(path_text: str, int_columns: bool, backend: str = DEFAULT_BACKEND):
     path = Path(path_text)
     if path.is_dir():
         converters = None
@@ -45,8 +46,8 @@ def _load_data(path_text: str, int_columns: bool):
                     return int
 
             converters = _AllInt()
-        return load_database_csv_dir(path, converters=converters)
-    return load_database(path)
+        return load_database_csv_dir(path, converters=converters, backend=backend)
+    return load_database(path, backend=backend)
 
 
 def _apply_where(query, clauses):
@@ -64,7 +65,7 @@ def _apply_where(query, clauses):
 
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
-    db = _load_data(args.data, args.int_columns)
+    db = _load_data(args.data, args.int_columns, args.backend)
     query = _apply_where(parse_query(args.query), args.where)
     result = local_sensitivity(
         query,
@@ -89,7 +90,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
-    db = _load_data(args.data, args.int_columns)
+    db = _load_data(args.data, args.int_columns, args.backend)
     query = _apply_where(parse_query(args.query), args.where)
     print(count_query(query, db))
     return 0
@@ -98,7 +99,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.core import explain
 
-    db = _load_data(args.data, args.int_columns)
+    db = _load_data(args.data, args.int_columns, args.backend)
     query = _apply_where(parse_query(args.query), args.where)
     print(explain(query, db, skip_relations=tuple(args.skip or ())))
     return 0
@@ -178,6 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="parse every CSV column as int",
     )
     sens.add_argument(
+        "--backend", default=DEFAULT_BACKEND, choices=BACKEND_NAMES,
+        help="execution backend for the engine (default: %(default)s)",
+    )
+    sens.add_argument(
         "--where", action="append",
         help="selection clause 'RELATION: predicate', repeatable "
              "(e.g. --where \"R: A = 1 and B in {2, 3}\")",
@@ -188,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--query", required=True)
     count.add_argument("--data", required=True)
     count.add_argument("--int-columns", action="store_true")
+    count.add_argument(
+        "--backend", default=DEFAULT_BACKEND, choices=BACKEND_NAMES,
+        help="execution backend for the engine (default: %(default)s)",
+    )
     count.add_argument("--where", action="append")
     count.set_defaults(handler=_cmd_count)
 
@@ -197,6 +206,10 @@ def build_parser() -> argparse.ArgumentParser:
     explain_cmd.add_argument("--query", required=True)
     explain_cmd.add_argument("--data", required=True)
     explain_cmd.add_argument("--int-columns", action="store_true")
+    explain_cmd.add_argument(
+        "--backend", default=DEFAULT_BACKEND, choices=BACKEND_NAMES,
+        help="execution backend for the engine (default: %(default)s)",
+    )
     explain_cmd.add_argument("--where", action="append")
     explain_cmd.add_argument("--skip", nargs="*")
     explain_cmd.set_defaults(handler=_cmd_explain)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from repro.engine.columnar import ColumnarRelation, clamp_counts_to_top_k
 from repro.engine.database import Database
 from repro.engine.operators import group_by, join_all
 from repro.engine.relation import Relation
@@ -36,18 +37,22 @@ def clamp_to_top_k(relation: Relation, k: int) -> Relation:
 
     Entries keep their keys; only counts below the k-th largest rise to it.
     With ``k >= distinct_count`` the relation is returned unchanged.
+    Columnar relations take a vectorized path (``np.partition`` +
+    ``np.maximum``) and stay columnar.
     """
     if k <= 0:
         raise MechanismConfigError(f"top-k clamp needs k >= 1, got {k}")
     if relation.distinct_count() <= k:
         return relation
+    if isinstance(relation, ColumnarRelation):
+        return clamp_counts_to_top_k(relation, k)
     counts = sorted(relation.counts.values(), reverse=True)
     threshold = counts[k - 1]
     clamped = {
         row: (cnt if cnt >= threshold else threshold)
         for row, cnt in relation.items()
     }
-    return Relation._from_counts(relation.schema, clamped)
+    return type(relation)._from_counts(relation.schema, clamped)
 
 
 def tsens_topk(

@@ -49,6 +49,7 @@ def generate_ego_network(
     num_circles: int = DEFAULT_CIRCLES,
     rewire_probability: float = 0.1,
     seed: int = 0,
+    backend: str = "python",
 ) -> Database:
     """Build the four edge tables ``R1..R4`` plus the triangle table ``TRI``.
 
@@ -112,7 +113,7 @@ def generate_ego_network(
         f"R{i}": Relation(["X", "Y"], buckets[i]) for i in range(1, 5)
     }
     relations["TRI"] = triangle_table(relations["R4"])
-    return Database(relations)
+    return Database(relations, backend=backend)
 
 
 def triangle_table(edges: Relation) -> Relation:

@@ -85,10 +85,12 @@ def random_database(
     domain_size: int = 3,
     max_rows: int = 6,
     allow_empty: bool = True,
+    backend: str = "python",
 ) -> Database:
     """A random instance for ``query``: every attribute draws from a shared
     integer domain of ``domain_size`` values; each relation gets up to
-    ``max_rows`` rows (possibly zero when ``allow_empty``)."""
+    ``max_rows`` rows (possibly zero when ``allow_empty``).  ``backend``
+    picks the physical representation (contents are identical)."""
     relations: Dict[str, Relation] = {}
     for atom in query.atoms:
         low = 0 if allow_empty else 1
@@ -98,4 +100,4 @@ def random_database(
             for _ in range(n_rows)
         ]
         relations[atom.relation] = Relation(list(atom.variables), rows)
-    return Database(relations)
+    return Database(relations, backend=backend)

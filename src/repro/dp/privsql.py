@@ -115,7 +115,7 @@ def _truncate_by_frequency(
         for row, cnt in relation.items()
         if groups[tuple(row[p] for p in positions)] <= threshold
     }
-    return Relation._from_counts(relation.schema, kept)
+    return type(relation)._from_counts(relation.schema, kept)
 
 
 def run_privsql(

@@ -82,7 +82,7 @@ def tsens_truncate(
         for row, cnt in base.items()
         if sensitivities[row] <= threshold
     }
-    return db.with_relation(primary, Relation._from_counts(base.schema, kept))
+    return db.with_relation(primary, type(base)._from_counts(base.schema, kept))
 
 
 class TruncationOracle:
@@ -172,7 +172,7 @@ class TruncationOracle:
             if self._sensitivities[row] <= threshold
         }
         return self._db.with_relation(
-            self._primary, Relation._from_counts(base.schema, kept)
+            self._primary, type(base)._from_counts(base.schema, kept)
         )
 
     def truncated_count(self, threshold: int) -> int:

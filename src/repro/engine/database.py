@@ -56,6 +56,9 @@ class Database:
     foreign_keys:
         Optional iterable of :class:`ForeignKey` constraints.  Referenced
         relation names must exist.
+    backend:
+        Optional execution-backend name (``"python"``/``"columnar"``); when
+        given, every relation is converted to that backend on construction.
     """
 
     def __init__(
@@ -63,8 +66,16 @@ class Database:
         relations: Mapping[str, Relation],
         primary_keys: Optional[Mapping[str, Sequence[str]]] = None,
         foreign_keys: Optional[Iterable[ForeignKey]] = None,
+        backend: Optional[str] = None,
     ):
         self._relations: Dict[str, Relation] = dict(relations)
+        if backend is not None:
+            from repro.engine.backend import get_backend
+
+            chosen = get_backend(backend)
+            self._relations = {
+                name: chosen.convert(rel) for name, rel in self._relations.items()
+            }
         if not self._relations:
             raise SchemaError("a database needs at least one relation")
         self._primary_keys: Dict[str, Tuple[str, ...]] = {}
@@ -133,6 +144,29 @@ class Database:
                 seen.setdefault(attr, None)
         return tuple(seen)
 
+    @property
+    def backend(self) -> str:
+        """Name of the execution backend the relations live on.
+
+        ``"mixed"`` when relations disagree (possible after manual
+        ``with_relation`` calls across backends).
+        """
+        from repro.engine.backend import backend_of
+
+        names = {backend_of(rel) for rel in self._relations.values()}
+        return names.pop() if len(names) == 1 else "mixed"
+
+    def with_backend(self, backend: str) -> "Database":
+        """Copy of this database with every relation converted to
+        ``backend``; key metadata is preserved.  Identity conversions are
+        free (relations already on the backend are reused)."""
+        from repro.engine.backend import get_backend
+
+        chosen = get_backend(backend)
+        return self._copy_with(
+            {name: chosen.convert(rel) for name, rel in self._relations.items()}
+        )
+
     # ----------------------------------------------------------- modification
     def with_relation(self, name: str, relation: Relation) -> "Database":
         """Copy of this database with relation ``name`` replaced."""
@@ -182,7 +216,9 @@ class Database:
                 for crow in doomed:
                     del counts[crow]
                     frontier.append((fk.child, crow))
-                updated[fk.child] = Relation._from_counts(child_rel.schema, counts)
+                updated[fk.child] = type(child_rel)._from_counts(
+                    child_rel.schema, counts
+                )
         return self._copy_with(updated)
 
     def _copy_with(self, relations: Dict[str, Relation]) -> "Database":

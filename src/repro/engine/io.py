@@ -20,6 +20,7 @@ import json
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.engine.backend import DEFAULT_BACKEND, get_backend
 from repro.engine.database import Database, ForeignKey
 from repro.engine.relation import Relation
 from repro.exceptions import SchemaError
@@ -33,15 +34,21 @@ Converter = Callable[[str], object]
 def read_relation_csv(
     path: PathLike,
     converters: Optional[Mapping[str, Converter]] = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Relation:
     """Load a bag relation from a CSV file.
 
     The header names the attributes; a ``__count__`` column, if present,
     holds per-row multiplicities (rows may still repeat — counts add).
     ``converters`` maps attribute name to a value parser (e.g. ``int``).
+    ``backend`` selects the physical representation the relation is
+    materialised on (``"python"`` or ``"columnar"``).
     """
     path = Path(path)
-    converters = dict(converters or {})
+    # Keep the caller's mapping as-is: the CLI passes lazy mappings whose
+    # .get() is overridden (--int-columns), which dict() would discard.
+    if converters is None:
+        converters = {}
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
         try:
@@ -84,7 +91,7 @@ def read_relation_csv(
             key = tuple(values)
             counts[key] = counts.get(key, 0) + multiplicity
         counts = {row: cnt for row, cnt in counts.items() if cnt}
-        return Relation(attributes, counts)
+        return get_backend(backend).relation(attributes, counts)
 
 
 def write_relation_csv(
@@ -143,8 +150,11 @@ def database_to_json(db: Database) -> Dict[str, object]:
     }
 
 
-def database_from_json(document: Mapping[str, object]) -> Database:
+def database_from_json(
+    document: Mapping[str, object], backend: str = DEFAULT_BACKEND
+) -> Database:
     """Inverse of :func:`database_to_json`."""
+    chosen = get_backend(backend)
     raw_relations = document.get("relations")
     if not isinstance(raw_relations, Mapping) or not raw_relations:
         raise SchemaError("JSON document has no relations")
@@ -152,7 +162,7 @@ def database_from_json(document: Mapping[str, object]) -> Database:
     for name, payload in raw_relations.items():
         attributes = payload["attributes"]
         counts = {tuple(row): int(cnt) for row, cnt in payload["rows"]}
-        relations[name] = Relation(attributes, counts)
+        relations[name] = chosen.relation(attributes, counts)
     primary_keys = {
         name: tuple(attrs)
         for name, attrs in (document.get("primary_keys") or {}).items()
@@ -176,16 +186,17 @@ def save_database(db: Database, path: PathLike) -> None:
         json.dump(database_to_json(db), handle, indent=1)
 
 
-def load_database(path: PathLike) -> Database:
+def load_database(path: PathLike, backend: str = DEFAULT_BACKEND) -> Database:
     """Load a database saved by :func:`save_database`."""
     path = Path(path)
     with path.open() as handle:
-        return database_from_json(json.load(handle))
+        return database_from_json(json.load(handle), backend=backend)
 
 
 def load_database_csv_dir(
     directory: PathLike,
     converters: Optional[Mapping[str, Mapping[str, Converter]]] = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Database:
     """Load every ``*.csv`` in a directory as one database.
 
@@ -194,11 +205,14 @@ def load_database_csv_dir(
     expressed in CSV — declare it separately or use the JSON format.
     """
     directory = Path(directory)
-    converters = dict(converters or {})
+    if converters is None:
+        converters = {}
     relations = {}
     for csv_path in sorted(directory.glob("*.csv")):
         name = csv_path.stem
-        relations[name] = read_relation_csv(csv_path, converters.get(name))
+        relations[name] = read_relation_csv(
+            csv_path, converters.get(name), backend=backend
+        )
     if not relations:
         raise SchemaError(f"no .csv files found in {directory}")
     return Database(relations)

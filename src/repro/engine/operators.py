@@ -11,6 +11,13 @@ These are the building blocks the paper's algorithms are written in:
   :func:`difference` — standard bag operators used by tests, baselines and
   the naive algorithm.
 
+Every operator is **backend-dispatching**: when an operand is a
+:class:`~repro.engine.columnar.ColumnarRelation` the vectorized kernel in
+:mod:`repro.engine.columnar` runs (other operands are promoted to columnar
+first — promotion of the tiny unit relations used by the path algorithm is
+O(1)); otherwise the per-tuple dict implementation below runs.  The layers
+above the engine call these functions and never see the physical layout.
+
 All joins are hash joins on the common attributes; when there are no common
 attributes :func:`join` degenerates into a cross product, which is what the
 paper's ``r̃join`` of attribute-disjoint topjoins/botjoins requires.
@@ -20,9 +27,22 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
 
+from repro.engine import columnar as _columnar
+from repro.engine.columnar import ColumnarRelation
 from repro.engine.relation import Relation, Row
 from repro.engine.schema import Schema
 from repro.exceptions import SchemaError
+
+
+def _promote(relation) -> ColumnarRelation:
+    """Columnar view of a relation (identity for columnar operands)."""
+    if isinstance(relation, ColumnarRelation):
+        return relation
+    return ColumnarRelation(relation.schema, relation.counts)
+
+
+def _any_columnar(*relations) -> bool:
+    return any(isinstance(rel, ColumnarRelation) for rel in relations)
 
 
 def join(left: Relation, right: Relation) -> Relation:
@@ -32,14 +52,17 @@ def join(left: Relation, right: Relation) -> Relation:
     attributes not already present.  Output multiplicity of a combined row
     is ``left_count * right_count`` summed over all ways of producing it.
     """
+    if _any_columnar(left, right):
+        return _columnar.join(_promote(left), _promote(right))
     common = left.schema.common(right.schema)
     if not common:
         return cross_product(left, right)
 
     left_key = left.schema.project_positions(common)
     right_key = right.schema.project_positions(common)
+    left_attrs = set(left.attributes)
     right_extra = tuple(
-        i for i, a in enumerate(right.attributes) if a not in set(left.attributes)
+        i for i, a in enumerate(right.attributes) if a not in left_attrs
     )
     out_schema = left.schema.union(right.schema)
 
@@ -82,6 +105,8 @@ def join_all(relations: Sequence[Relation]) -> Relation:
 
 def cross_product(left: Relation, right: Relation) -> Relation:
     """Bag cross product (multiplicities multiply)."""
+    if _any_columnar(left, right):
+        return _columnar.cross_product(_promote(left), _promote(right))
     overlap = left.schema.common(right.schema)
     if overlap:
         raise SchemaError(f"cross product with overlapping attributes {overlap}")
@@ -99,6 +124,8 @@ def group_by(relation: Relation, attributes: Sequence[str]) -> Relation:
     An empty attribute list yields a zero-arity relation whose single
     tuple's multiplicity is the bag cardinality — useful for counting.
     """
+    if isinstance(relation, ColumnarRelation):
+        return _columnar.group_by(relation, attributes)
     positions = relation.schema.project_positions(attributes)
     out: Dict[Row, int] = {}
     for row, cnt in relation.items():
@@ -125,6 +152,8 @@ def semijoin(left: Relation, right: Relation) -> Relation:
     Multiplicities of the surviving tuples are unchanged — this is the
     reducer step of Yannakakis's algorithm, not a counting join.
     """
+    if _any_columnar(left, right):
+        return _columnar.semijoin(_promote(left), _promote(right))
     common = left.schema.common(right.schema)
     if not common:
         return left if not right.is_empty() else Relation(left.schema, ())
@@ -144,6 +173,8 @@ def union_all(relations: Iterable[Relation]) -> Relation:
     relations = list(relations)
     if not relations:
         raise SchemaError("union_all requires at least one relation")
+    if _any_columnar(*relations):
+        return _columnar.union_all([_promote(rel) for rel in relations])
     schema = relations[0].schema
     out: Dict[Row, int] = {}
     for rel in relations:
@@ -156,6 +187,8 @@ def union_all(relations: Iterable[Relation]) -> Relation:
 
 def difference(left: Relation, right: Relation) -> Relation:
     """Bag difference ``left ∸ right`` (monus: counts floor at zero)."""
+    if _any_columnar(left, right):
+        return _columnar.difference(_promote(left), _promote(right))
     if left.schema != right.schema:
         raise SchemaError(f"difference schema mismatch: {left.schema} vs {right.schema}")
     out: Dict[Row, int] = {}
@@ -170,7 +203,8 @@ def symmetric_difference_size(left: Relation, right: Relation) -> int:
     """``|left Δ right|`` under bag semantics: sum of |count deltas|.
 
     This is the quantity in the paper's Definition 2.1 of tuple sensitivity,
-    ``|Q(D ∪ {t}) Δ Q(D)|``.
+    ``|Q(D ∪ {t}) Δ Q(D)|``.  Backend-generic: iterates the logical
+    (tuple, count) view of both operands.
     """
     if set(left.attributes) != set(right.attributes):
         raise SchemaError("symmetric difference over different attribute sets")

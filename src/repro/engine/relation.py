@@ -166,6 +166,8 @@ class Relation:
             raise SchemaError("use remove() to delete tuples")
         row = tuple(row)
         self._check_row(row)
+        if multiplicity == 0:
+            return self
         counts = dict(self._counts)
         counts[row] = counts.get(row, 0) + multiplicity
         return Relation._from_counts(self._schema, counts)
@@ -225,14 +227,7 @@ class Relation:
 
     def same_bag(self, other: "Relation") -> bool:
         """Bag equality up to attribute order (reorders columns to compare)."""
-        if set(self.attributes) != set(other.attributes):
-            return False
-        positions = other.schema.project_positions(self.attributes)
-        reordered = {}
-        for row, cnt in other.items():
-            key = tuple(row[p] for p in positions)
-            reordered[key] = reordered.get(key, 0) + cnt
-        return reordered == self._counts
+        return same_bag_counts(self, other)
 
     def __repr__(self) -> str:
         return (
@@ -250,6 +245,21 @@ class Relation:
         return rel
 
 
+def same_bag_counts(left, right) -> bool:
+    """Bag equality up to attribute order, through the logical counts view.
+
+    Backend-generic: works for (and across) any relation implementation
+    exposing ``attributes`` / ``schema`` / ``items()`` / ``counts``."""
+    if set(left.attributes) != set(right.attributes):
+        return False
+    positions = right.schema.project_positions(left.attributes)
+    reordered: Dict[Row, int] = {}
+    for row, cnt in right.items():
+        key = tuple(row[p] for p in positions)
+        reordered[key] = reordered.get(key, 0) + cnt
+    return reordered == dict(left.counts)
+
+
 def empty_like(relation: Relation) -> Relation:
-    """An empty relation with the same schema as ``relation``."""
-    return Relation(relation.schema, ())
+    """An empty relation with the same schema (and backend) as ``relation``."""
+    return type(relation)(relation.schema, ())

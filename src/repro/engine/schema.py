@@ -32,7 +32,7 @@ class Schema:
     (1,)
     """
 
-    __slots__ = ("_attributes", "_positions")
+    __slots__ = ("_attributes", "_positions", "_projection_cache")
 
     def __init__(self, attributes: Iterable[str]):
         attrs = tuple(attributes)
@@ -43,6 +43,7 @@ class Schema:
             raise SchemaError(f"duplicate attribute names in schema: {attrs}")
         self._attributes: Tuple[str, ...] = attrs
         self._positions = {name: i for i, name in enumerate(attrs)}
+        self._projection_cache: dict = {}
 
     @property
     def attributes(self) -> Tuple[str, ...]:
@@ -65,8 +66,18 @@ class Schema:
             raise UnknownAttributeError(attribute, where=f"schema {self._attributes}") from None
 
     def project_positions(self, attributes: Sequence[str]) -> Tuple[int, ...]:
-        """Positions of ``attributes``, in the order given."""
-        return tuple(self.index_of(a) for a in attributes)
+        """Positions of ``attributes``, in the order given.
+
+        Memoised per attribute tuple: the join/semijoin/group-by operators
+        resolve the same projections on every call over the same schemas,
+        so repeated lookups cost one dict hit instead of a rebuild.
+        """
+        key = tuple(attributes)
+        cached = self._projection_cache.get(key)
+        if cached is None:
+            cached = tuple(self.index_of(a) for a in key)
+            self._projection_cache[key] = cached
+        return cached
 
     def common(self, other: "Schema") -> Tuple[str, ...]:
         """Attributes shared with ``other``, in *this* schema's order."""

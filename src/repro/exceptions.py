@@ -67,5 +67,11 @@ class PrivacyBudgetError(ReproError):
     """A mechanism was asked to spend more privacy budget than it holds."""
 
 
+class MultiplicityOverflowError(ReproError):
+    """A columnar-backend operation would overflow int64 multiplicities.
+
+    The python backend (arbitrary-precision ints) handles such inputs."""
+
+
 class MechanismConfigError(ReproError):
     """A DP mechanism received inconsistent configuration parameters."""

@@ -52,6 +52,30 @@ class TestSensitivityCommand:
         )
         assert code == 0
 
+    def test_int_columns_parses_values_as_ints(self, csv_data, capsys):
+        code = main(
+            [
+                "sensitivity", "--query", "R(A,B), S(B,C)",
+                "--data", str(csv_data), "--int-columns",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # values must be ints, not strings, in the witness report
+        assert "'B': 2" in out and "'B': '2'" not in out
+
+    @pytest.mark.parametrize("backend", ["python", "columnar"])
+    def test_backend_flag_gives_same_answer(self, csv_data, capsys, backend):
+        code = main(
+            [
+                "sensitivity", "--query", "R(A,B), S(B,C)",
+                "--data", str(csv_data), "--backend", backend,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "local sensitivity: 2" in out
+
 
 class TestCountCommand:
     def test_counts(self, csv_data, capsys):
