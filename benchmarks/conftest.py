@@ -60,12 +60,23 @@ def facebook_base(backend):
     )
 
 
+def _normalized_nodeid(nodeid: str) -> str:
+    """Node id relative to this directory, whatever the invocation rootdir.
+
+    ``pytest benchmarks/bench_x.py`` from the repo root and ``pytest
+    bench_x.py`` from inside ``benchmarks/`` must key the same timing
+    entry, or the merged BENCH_<backend>.json accumulates diverging
+    duplicates."""
+    prefix = Path(__file__).resolve().parent.name + "/"
+    return nodeid[len(prefix):] if nodeid.startswith(prefix) else nodeid
+
+
 @pytest.fixture(autouse=True)
 def _record_wall_time(request):
     """Record per-test wall time for the BENCH_<backend>.json report."""
     start = time.perf_counter()
     yield
-    request.config._bench_wall_times[request.node.nodeid] = (
+    request.config._bench_wall_times[_normalized_nodeid(request.node.nodeid)] = (
         time.perf_counter() - start
     )
 

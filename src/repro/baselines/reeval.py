@@ -1,30 +1,65 @@
-"""Re-evaluation baseline: local sensitivity via repeated Yannakakis runs.
+"""Re-evaluation baseline: local sensitivity via per-tuple count probes.
 
 Sections 4.1/5.2 of the paper discuss the natural alternative to TSens:
 re-run a (near-linear) count-only Yannakakis evaluation once per candidate
 tuple deletion/insertion.  This matches the naive algorithm of Theorem 3.1
 but uses the efficient evaluator per probe; the paper estimates it at
-``×10k+`` the cost of TSens on its workloads.  We expose it both as a
-correctness cross-check and as the runtime strawman for the ablation bench.
+``×10k+`` the cost of TSens on its workloads.
 
-Unlike :mod:`repro.core.naive` (which enumerates the full representative
-domain as Definition 3.1 prescribes) this baseline supports *sampling* a
-bounded number of insertion candidates, so its runtime can be measured on
-databases where full enumeration is hopeless.
+Two probe engines are available through ``mode``:
+
+``"incremental"`` (default)
+    :class:`~repro.evaluation.incremental.IncrementalEvaluator` — cache
+    the join-tree count aggregates once, then answer every candidate with
+    a leaf-to-root delta propagation (Berkholz-style).  Whole relations
+    probe in one vectorized batch, so the baseline runs *unsampled* at
+    bench scale.
+``"full"``
+    The historical strawman: one complete re-evaluation per candidate.
+    Kept as the cross-check the incremental engine is validated against,
+    and as the runtime reference for the ablation bench.
+
+Both modes support *sampling* a bounded number of candidates per relation
+(``max_probes_per_relation``), which the bench uses to extrapolate the
+full-mode runtime on databases where exhaustive re-running is hopeless.
+Sampling draws identical candidates in both modes for a given seed, so
+sampled results are mode-independent too.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.engine.database import Database
-from repro.evaluation.yannakakis import bind, count_bound
+from repro.evaluation.incremental import IncrementalEvaluator
+from repro.evaluation.yannakakis import _component_trees, bind, count_bound
 from repro.query.conjunctive import ConjunctiveQuery
-from repro.query.ghd import auto_decompose
 from repro.query.jointree import DecompositionTree
 from repro.core.result import SensitiveTuple, SensitivityResult
+from repro.exceptions import MechanismConfigError
+
+REEVAL_MODES: Tuple[str, ...] = ("incremental", "full")
+
+
+def _candidates(
+    db: Database,
+    relation: str,
+    include_insertions: bool,
+    max_probes: Optional[int],
+    rng: np.random.Generator,
+) -> List[Tuple[object, ...]]:
+    """Deletion + insertion candidate tuples for one relation, possibly
+    sampled.  Deletion and insertion probes need no distinction: the count
+    is multilinear in the multiplicities, so both deltas equal ``w(t)``."""
+    candidates: List[Tuple[object, ...]] = list(db.relation(relation))
+    if include_insertions:
+        candidates.extend(db.representative_tuples(relation))
+    if max_probes is not None and len(candidates) > max_probes:
+        picks = rng.choice(len(candidates), size=max_probes, replace=False)
+        candidates = [candidates[i] for i in sorted(picks)]
+    return candidates
 
 
 def reevaluation_sensitivity(
@@ -34,8 +69,10 @@ def reevaluation_sensitivity(
     max_probes_per_relation: Optional[int] = None,
     include_insertions: bool = True,
     seed: int = 0,
+    mode: str = "incremental",
+    max_width: int = 3,
 ) -> SensitivityResult:
-    """Local sensitivity via one count re-evaluation per candidate tuple.
+    """Local sensitivity via one count probe per candidate tuple.
 
     Parameters
     ----------
@@ -50,33 +87,54 @@ def reevaluation_sensitivity(
         mode purely to extrapolate runtime, never for accuracy claims.
     include_insertions:
         Probe representative-domain insertions in addition to deletions.
+    mode:
+        ``"incremental"`` (cached join-tree counts, delta propagation per
+        probe) or ``"full"`` (one complete re-evaluation per probe).  Both
+        return identical results; ``"full"`` exists as the cross-check.
+    max_width:
+        GHD node-size cap for the automatic decomposition of cyclic
+        queries (ignored when ``tree`` is given).
     """
+    if mode not in REEVAL_MODES:
+        raise MechanismConfigError(
+            f"unknown reeval mode {mode!r} (known: {', '.join(REEVAL_MODES)})"
+        )
     query.validate_against(db)
-    if tree is None:
-        tree = auto_decompose(query)
     rng = np.random.default_rng(seed)
-    base = count_bound(bind(query, tree, db))
+
+    if mode == "incremental":
+        evaluator = IncrementalEvaluator(query, db, tree=tree, max_width=max_width)
+
+        def deltas_of(relation: str, rows) -> List[int]:
+            return evaluator.delta_batch(relation, rows)
+    else:
+        pairs = _component_trees(query, tree, max_width)
+
+        def full_count(instance: Database) -> int:
+            total = 1
+            for sub, sub_tree in pairs:
+                total *= count_bound(bind(sub, sub_tree, instance))
+                if total == 0:
+                    return 0
+            return total
+
+        base = full_count(db)
+
+        def deltas_of(relation: str, rows) -> List[int]:
+            # One full re-evaluation per probe — the O(runs) strawman.
+            return [
+                full_count(db.add_tuple(relation, row)) - base for row in rows
+            ]
 
     per_relation = {}
     for relation in query.relation_names:
         atom = query.atom(relation)
-        candidates = []
-        for row in db.relation(relation):
-            candidates.append(("del", row))
-        if include_insertions:
-            for row in db.representative_tuples(relation):
-                candidates.append(("ins", row))
-        if max_probes_per_relation is not None and len(candidates) > max_probes_per_relation:
-            picks = rng.choice(len(candidates), size=max_probes_per_relation, replace=False)
-            candidates = [candidates[i] for i in sorted(picks)]
+        candidates = _candidates(
+            db, relation, include_insertions, max_probes_per_relation, rng
+        )
+        deltas = deltas_of(relation, candidates)
         best_delta, best_row = 0, None
-        for kind, row in candidates:
-            if kind == "del":
-                probe = db.remove_tuple(relation, row)
-                delta = base - count_bound(bind(query, tree, probe))
-            else:
-                probe = db.add_tuple(relation, row)
-                delta = count_bound(bind(query, tree, probe)) - base
+        for row, delta in zip(candidates, deltas):
             if delta > best_delta:
                 best_delta, best_row = delta, row
         if best_row is None:
@@ -90,6 +148,8 @@ def reevaluation_sensitivity(
     if local > 0:
         witness = next(w for w in per_relation.values() if w.sensitivity == local)
     method = "reeval" if max_probes_per_relation is None else "reeval-sampled"
+    if mode == "incremental":
+        method += "-incremental"
     return SensitivityResult(
         query_name=query.name,
         method=method,

@@ -73,6 +73,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
         method=args.method,
         top_k=args.top_k,
         skip_relations=tuple(args.skip or ()),
+        reeval_mode=args.reeval_mode,
     )
     print(f"query            : {query}")
     print(f"method           : {result.method}")
@@ -168,7 +169,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--data", required=True, help="CSV directory or JSON database file"
     )
     sens.add_argument(
-        "--method", default="auto", choices=["auto", "path", "tsens", "naive"]
+        "--method",
+        default="auto",
+        choices=["auto", "path", "tsens", "naive", "reeval"],
+    )
+    sens.add_argument(
+        "--reeval-mode",
+        default="incremental",
+        choices=["incremental", "full"],
+        dest="reeval_mode",
+        help="probe engine for --method reeval: cached-delta propagation "
+             "(incremental) or one full re-evaluation per candidate (full)",
     )
     sens.add_argument("--top-k", type=int, default=None, dest="top_k")
     sens.add_argument(

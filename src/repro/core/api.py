@@ -2,14 +2,18 @@
 
 :func:`local_sensitivity` picks the right algorithm for the query shape:
 
-======================  ==================================================
-query shape             algorithm
-======================  ==================================================
-path join               Algorithm 1 (:func:`repro.core.path.ls_path_join`)
-acyclic / cyclic /      Algorithm 2 with join tree or GHD
-disconnected            (:func:`repro.core.general.tsens`)
-any, ``method="naive"`` brute force (:func:`repro.core.naive`)
-======================  ==================================================
+=======================  ==================================================
+query shape              algorithm
+=======================  ==================================================
+path join                Algorithm 1 (:func:`repro.core.path.ls_path_join`)
+acyclic / cyclic /       Algorithm 2 with join tree or GHD
+disconnected             (:func:`repro.core.general.tsens`)
+any, ``method="naive"``  brute force (:func:`repro.core.naive`)
+any, ``method="reeval"`` per-candidate count probes
+                         (:func:`repro.baselines.reeval`), incremental
+                         delta propagation or full re-runs per
+                         ``reeval_mode``
+=======================  ==================================================
 
 All algorithms return the same :class:`~repro.core.result.SensitivityResult`.
 """
@@ -38,6 +42,7 @@ def local_sensitivity(
     skip_relations: Iterable[str] = (),
     top_k: Optional[int] = None,
     max_width: int = 3,
+    reeval_mode: str = "incremental",
 ) -> SensitivityResult:
     """Compute ``LS(Q, D)`` and a most sensitive tuple (Definition 2.3).
 
@@ -50,7 +55,8 @@ def local_sensitivity(
         Database instance.
     method:
         ``"auto"`` (path algorithm for path queries, TSens otherwise),
-        ``"path"``, ``"tsens"``, or ``"naive"``.
+        ``"path"``, ``"tsens"``, ``"naive"``, or ``"reeval"`` (the
+        re-evaluation baseline, exact but slower than TSens).
     tree:
         Decomposition override for TSens on connected queries.
     skip_relations:
@@ -61,6 +67,11 @@ def local_sensitivity(
         is an upper bound on the true local sensitivity.
     max_width:
         GHD node-size cap for automatic decomposition of cyclic queries.
+    reeval_mode:
+        For ``method="reeval"``: ``"incremental"`` answers every probe
+        from cached join-tree counts via delta propagation (near-linear
+        total), ``"full"`` re-runs the count per probe (the paper's
+        strawman, kept as a cross-check).
 
     Examples
     --------
@@ -77,10 +88,23 @@ def local_sensitivity(
     >>> result.witness.relation
     'S'
     """
-    if method not in ("auto", "path", "tsens", "naive"):
+    if method not in ("auto", "path", "tsens", "naive", "reeval"):
         raise MechanismConfigError(f"unknown method {method!r}")
     if method == "naive":
         return naive_local_sensitivity(query, db)
+    if method == "reeval":
+        if top_k is not None or tuple(skip_relations):
+            raise MechanismConfigError(
+                "method='reeval' supports neither top_k nor skip_relations; "
+                "use method='tsens' for those knobs"
+            )
+        # Imported lazily: repro.baselines imports repro.core.result, so a
+        # top-level import would cycle during package initialisation.
+        from repro.baselines.reeval import reevaluation_sensitivity
+
+        return reevaluation_sensitivity(
+            query, db, tree=tree, mode=reeval_mode, max_width=max_width
+        )
     if top_k is not None:
         return tsens_topk(
             query, db, k=top_k, tree=tree, skip_relations=skip_relations

@@ -138,6 +138,78 @@ def _group_sums(inverse: np.ndarray, mult: np.ndarray, n_groups: int) -> np.ndar
     return exact.astype(np.int64)
 
 
+def _predicate_mask(relation: "ColumnarRelation", predicate) -> Optional[np.ndarray]:
+    """Row mask for a structural DSL predicate, or ``None`` when unsupported.
+
+    Predicates from :mod:`repro.query.predicates` are trees of
+    comparisons/memberships over single attributes, so they evaluate once
+    per *distinct dictionary code* instead of once per row — the classic
+    dictionary-encoding selection win.  Anything else (plain callables,
+    predicates over attributes this relation lacks) returns ``None`` and
+    the caller falls back to the per-row path, keeping the two routes
+    observationally identical.
+    """
+    from repro.query import predicates as _dsl  # lazy: engine must not import query at module load
+
+    if isinstance(predicate, _dsl.TruePredicate):
+        return np.ones(relation._mult.size, dtype=bool)
+    if isinstance(predicate, _dsl.Not):
+        inner = _predicate_mask(relation, predicate.inner)
+        return None if inner is None else ~inner
+    if isinstance(predicate, (_dsl.And, _dsl.Or)):
+        left = _predicate_mask(relation, predicate.left)
+        if left is None:
+            return None
+        right = _predicate_mask(relation, predicate.right)
+        if right is None:
+            return None
+        return (left & right) if isinstance(predicate, _dsl.And) else (left | right)
+    if isinstance(predicate, (_dsl.Compare, _dsl.Member)):
+        attribute = predicate.attribute
+        if attribute not in relation._schema:
+            return None  # per-row path raises KeyError, as callers expect
+        column = relation._codes[relation._schema.index_of(attribute)]
+        values = relation._vocab.values
+        passing = np.asarray(
+            [
+                code
+                for code in np.unique(column).tolist()
+                if predicate({attribute: values[code]})
+            ],
+            dtype=np.int64,
+        )
+        return np.isin(column, passing)
+    return None
+
+
+def intersect_column_values(
+    relations: Sequence["ColumnarRelation"], attribute: str
+) -> Optional[frozenset]:
+    """Intersection of an attribute's active domains, at the code level.
+
+    The shared process vocabulary gives equal values equal codes, so the
+    intersection is ``np.intersect1d`` over per-relation unique code
+    arrays, decoding only the final survivors.  Returns ``None`` when the
+    relations span different vocabulary generations (caller falls back to
+    the value-level path).
+    """
+    vocab = relations[0]._vocab
+    if any(rel._vocab is not vocab for rel in relations):
+        return None
+    codes: Optional[np.ndarray] = None
+    for rel in relations:
+        column = rel._codes[rel._schema.index_of(attribute)]
+        uniq = np.unique(column)
+        codes = uniq if codes is None else np.intersect1d(
+            codes, uniq, assume_unique=True
+        )
+        if codes.size == 0:
+            break
+    assert codes is not None
+    values = vocab.values
+    return frozenset(values[c] for c in codes.tolist())
+
+
 # ----------------------------------------------------------------- kernels
 def _pack_single(cols: Sequence[np.ndarray]) -> Optional[np.ndarray]:
     """Mixed-radix pack of several code columns into one ``int64`` key.
@@ -524,8 +596,11 @@ class ColumnarRelation:
     def filter(self, predicate) -> "ColumnarRelation":
         """Keep tuples satisfying ``predicate`` (a selection σ).
 
-        Arbitrary Python predicates force per-distinct-row evaluation, as
-        in the Python backend; survivors keep their columnar form.
+        Structural predicates from :mod:`repro.query.predicates` evaluate
+        once per distinct dictionary code and reduce to vectorized masks
+        (:func:`_predicate_mask`); arbitrary Python predicates force
+        per-distinct-row evaluation, as in the Python backend.  Survivors
+        keep their columnar form either way.
         """
         attrs = self._schema.attributes
         if not self._codes:
@@ -533,6 +608,14 @@ class ColumnarRelation:
             mult = self._mult if keep_all else _EMPTY_INT64
             return ColumnarRelation._from_parts(
                 self._schema, (), mult, vocab=self._vocab
+            )
+        mask = _predicate_mask(self, predicate)
+        if mask is not None:
+            return ColumnarRelation._from_parts(
+                self._schema,
+                [c[mask] for c in self._codes],
+                self._mult[mask],
+                vocab=self._vocab,
             )
         values = self._vocab.values
         decoded = [[values[c] for c in column.tolist()] for column in self._codes]

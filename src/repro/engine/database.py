@@ -250,6 +250,12 @@ class Database:
             if name != relation_name and attribute in rel.schema
         ]
         if others:
+            from repro.engine.columnar import ColumnarRelation, intersect_column_values
+
+            if all(isinstance(rel, ColumnarRelation) for rel in others):
+                fast = intersect_column_values(others, attribute)
+                if fast is not None:
+                    return fast
             domain = others[0].column_values(attribute)
             for rel in others[1:]:
                 domain = domain & rel.column_values(attribute)

@@ -1,5 +1,6 @@
 """Query evaluation over decomposition trees (Yannakakis-style)."""
 
+from repro.evaluation.incremental import PROBE_ATTRIBUTE, IncrementalEvaluator
 from repro.evaluation.yannakakis import (
     BoundTree,
     bind,
@@ -15,6 +16,8 @@ from repro.evaluation.yannakakis import (
 
 __all__ = [
     "BoundTree",
+    "IncrementalEvaluator",
+    "PROBE_ATTRIBUTE",
     "bind",
     "compute_botjoins",
     "count_bound",

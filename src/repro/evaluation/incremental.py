@@ -1,0 +1,318 @@
+"""Incremental delta re-evaluation over cached join-tree counts.
+
+The paper's re-evaluation strawman (Sections 4.1/5.2) answers "how does
+``|Q(D)|`` change if tuple ``t`` is inserted into / deleted from ``R``?"
+by re-running a full count-only Yannakakis pass per candidate — ``O(n)``
+per probe, ``O(n)`` probes, which is why :mod:`repro.baselines.reeval`
+historically had to sample.  Berkholz, Keppeler & Schweikardt ("Answering
+FO+MOD queries under updates") observe that counting under single-tuple
+updates only needs *delta propagation* over a materialized structure.
+This module implements that idea on the repo's decomposition trees:
+
+**Base structure (built once).**  Bind the tree, compute every botjoin
+``K(v)`` (:func:`repro.evaluation.yannakakis.compute_botjoins`), and for
+every non-root node ``v`` with parent ``p`` cache the *sibling
+complement* ``J(v) = rel_p r̃join (r̃join of K(c) for siblings c of v)``
+— everything ``K(p)`` multiplies ``K(v)`` with.
+
+**Probe (per update).**  ``|Q(D)|`` is multilinear in each relation's
+multiplicity vector, so changing the multiplicity of ``t ∈ R`` by ``±1``
+changes the count by exactly ``±w(t)`` where ``w(t)`` is the number of
+join results (with multiplicity) one occurrence of ``t`` participates in.
+``w(t)`` is obtained by pushing the one-tuple delta relation up the
+leaf-to-root path::
+
+    ΔK(v)  = γ_{shared(v)} (Δrel_v r̃join ∏_c K(c))        (v's node)
+    ΔK(p)  = γ_{shared(p)} (ΔK(v) r̃join J(v))              (each ancestor)
+    w(t)   = ΔK(root).total_count()
+
+Each probe therefore touches only the path from ``R``'s node to the root
+— ``O(depth)`` small joins against cached relations instead of a full
+re-evaluation, turning the re-evaluation baseline from ``O(runs · n)``
+into ``O(updates)`` after one ``O(n)`` build.
+
+**Batching.**  Probes are independent and propagation is linear, so a
+whole batch propagates in *one* pass: the delta relation carries an extra
+probe-id column (:data:`PROBE_ATTRIBUTE`) that joins ignore and group-bys
+retain, keeping per-probe contributions separate.  On the columnar
+backend the batch pass runs entirely inside the vectorized join/group-by
+kernels — one numpy pass per tree edge for thousands of probes.
+
+Deltas stay non-negative throughout (the update's sign factors out), so
+both relation backends can represent them; columnar ``int64`` overflow
+surfaces as :class:`~repro.exceptions.MultiplicityOverflowError`, exactly
+as a full re-evaluation would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.database import Database
+from repro.engine.operators import group_by, join
+from repro.engine.relation import Row
+from repro.evaluation.yannakakis import (
+    BoundTree,
+    _component_trees,
+    bind,
+    compute_botjoins,
+)
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.jointree import DecompositionTree
+from repro.exceptions import SchemaError, UnknownRelationError
+
+#: Reserved column name carrying the probe index through a batch pass.
+PROBE_ATTRIBUTE = "__probe__"
+
+
+@dataclass
+class _Component:
+    """Cached evaluation state for one connected component of the query."""
+
+    query: ConjunctiveQuery
+    bound: BoundTree
+    botjoins: Dict[str, object]
+    #: ``v -> rel_{parent(v)} r̃join (r̃join of K(c) for siblings c of v)``.
+    sibling_complement: Dict[str, object]
+    #: relation -> bag join of the *other* atoms in its node (GHD nodes).
+    node_others: Dict[str, Optional[object]]
+    count: int
+    #: product of the other components' counts (scales every delta).
+    multiplier: int = 1
+
+
+class IncrementalEvaluator:
+    """Answer single-tuple count-update probes from cached join-tree state.
+
+    Parameters
+    ----------
+    query:
+        Full conjunctive query (any shape; disconnected queries are
+        handled per component with cross-product multipliers).
+    db:
+        The database instance the cache is built over.  Probes are
+        hypothetical: the evaluator never mutates ``db`` and successive
+        probes are independent.
+    tree:
+        Decomposition override for connected queries (defaults to GYO /
+        automatic GHD, like the rest of the evaluation stack).
+    max_width:
+        GHD node-size cap for the automatic decomposition of cyclic
+        queries (ignored when ``tree`` is given).
+
+    Examples
+    --------
+    >>> from repro.engine import Database, Relation
+    >>> from repro.query import parse_query
+    >>> q = parse_query("Q(A,B,C) :- R(A,B), S(B,C)")
+    >>> db = Database({
+    ...     "R": Relation(["A", "B"], [(1, 2), (3, 2)]),
+    ...     "S": Relation(["B", "C"], [(2, 4)]),
+    ... })
+    >>> ev = IncrementalEvaluator(q, db)
+    >>> ev.base_count
+    2
+    >>> ev.delta("S", (2, 9))     # inserting (2,9) adds both R tuples
+    2
+    >>> ev.delta_batch("R", [(1, 2), (5, 5)])
+    [1, 0]
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        db: Database,
+        tree: Optional[DecompositionTree] = None,
+        max_width: int = 3,
+    ):
+        query.validate_against(db)
+        if PROBE_ATTRIBUTE in query.variables:
+            raise SchemaError(
+                f"query variable {PROBE_ATTRIBUTE!r} collides with the "
+                "reserved probe column"
+            )
+        self._query = query
+        self._db = db
+        self._components: List[_Component] = []
+        self._component_of: Dict[str, int] = {}
+        for sub, sub_tree in _component_trees(query, tree, max_width):
+            component = self._build_component(sub, sub_tree, db)
+            index = len(self._components)
+            self._components.append(component)
+            for relation in sub.relation_names:
+                self._component_of[relation] = index
+        total = 1
+        for component in self._components:
+            total *= component.count
+        self._base_count = total
+        for i, component in enumerate(self._components):
+            multiplier = 1
+            for j, other in enumerate(self._components):
+                if j != i:
+                    multiplier *= other.count
+            component.multiplier = multiplier
+
+    # -------------------------------------------------------------- building
+    @staticmethod
+    def _build_component(
+        sub: ConjunctiveQuery, sub_tree: DecompositionTree, db: Database
+    ) -> _Component:
+        bound = bind(sub, sub_tree, db)
+        botjoins = compute_botjoins(bound)
+        tree = bound.tree
+        # Sibling complements, one per tree edge.  Prefix/suffix products
+        # keep this linear in the child count even for high-degree nodes.
+        sibling_complement: Dict[str, object] = {}
+        for parent in tree.node_ids:
+            children = tree.children(parent)
+            if not children:
+                continue
+            base = bound.relation(parent)
+            prefix = [base]
+            for child in children[:-1]:
+                prefix.append(join(prefix[-1], botjoins[child]))
+            suffix: List[Optional[object]] = [None] * len(children)
+            for i in range(len(children) - 2, -1, -1):
+                nxt = botjoins[children[i + 1]]
+                suffix[i] = nxt if suffix[i + 1] is None else join(nxt, suffix[i + 1])
+            for i, child in enumerate(children):
+                complement = prefix[i]
+                if suffix[i] is not None:
+                    complement = join(complement, suffix[i])
+                sibling_complement[child] = complement
+        # Within-node complements for GHD nodes holding several atoms.
+        node_others: Dict[str, Optional[object]] = {}
+        for relation in sub.relation_names:
+            node = tree.node(tree.node_of_relation(relation))
+            others = [r for r in node.relations if r != relation]
+            if not others:
+                node_others[relation] = None
+                continue
+            acc = bound.atom_relation(others[0])
+            for other in others[1:]:
+                acc = join(acc, bound.atom_relation(other))
+            node_others[relation] = acc
+        return _Component(
+            query=sub,
+            bound=bound,
+            botjoins=botjoins,
+            sibling_complement=sibling_complement,
+            node_others=node_others,
+            count=botjoins[tree.root].total_count(),
+        )
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def query(self) -> ConjunctiveQuery:
+        return self._query
+
+    @property
+    def db(self) -> Database:
+        return self._db
+
+    @property
+    def base_count(self) -> int:
+        """``|Q(D)|`` on the unmodified database (cached)."""
+        return self._base_count
+
+    # ----------------------------------------------------------------- probes
+    def delta(self, relation: str, row: Sequence[object]) -> int:
+        """``w(t)`` — the count change magnitude of a ``±1`` update of ``row``.
+
+        Inserting one occurrence of ``row`` into ``relation`` yields
+        ``base_count + delta``; deleting one *existing* occurrence yields
+        ``base_count - delta``.  Tuples that fail the relation's selection
+        predicate or join nothing have delta 0.
+        """
+        return self.delta_batch(relation, [row])[0]
+
+    def delta_batch(
+        self, relation: str, rows: Sequence[Sequence[object]]
+    ) -> List[int]:
+        """``w(t)`` for every probe tuple, via one shared propagation pass.
+
+        All probes ride a single delta relation tagged with a probe-id
+        column, so the cost is one leaf-to-root pass regardless of the
+        batch size — on the columnar backend every step is a vectorized
+        kernel call.
+        """
+        if relation not in self._component_of:
+            raise UnknownRelationError(relation)
+        rows = [tuple(row) for row in rows]
+        if not rows:
+            return []
+        component = self._components[self._component_of[relation]]
+        if component.multiplier == 0:
+            return [0] * len(rows)
+        probe = self._probe_relation(component, relation, rows)
+        collapsed = self._propagate(component, relation, probe)
+        per_probe = {key[0]: cnt for key, cnt in collapsed.items()}
+        return [
+            per_probe.get(i, 0) * component.multiplier for i in range(len(rows))
+        ]
+
+    def count_after_insert(self, relation: str, row: Sequence[object]) -> int:
+        """``|Q(D ∪ {t})|`` without re-evaluating."""
+        return self._base_count + self.delta(relation, tuple(row))
+
+    def count_after_delete(self, relation: str, row: Sequence[object]) -> int:
+        """``|Q(D \\ {t})|`` without re-evaluating.
+
+        Deleting an absent tuple is a no-op (the paper's ``D \\ {t}``
+        semantics), so the base count is returned unchanged in that case.
+        """
+        row = tuple(row)
+        if self._db.relation(relation).multiplicity(row) == 0:
+            return self._base_count
+        return self._base_count - self.delta(relation, row)
+
+    # ----------------------------------------------------------- propagation
+    def _probe_relation(
+        self, component: _Component, relation: str, rows: Sequence[Row]
+    ):
+        """The tagged delta relation: one row per probe, selection applied."""
+        atom = component.query.atom(relation)
+        for row in rows:
+            if len(row) != atom.arity:
+                raise SchemaError(
+                    f"probe {row!r} has arity {len(row)}, atom {atom} "
+                    f"expects {atom.arity}"
+                )
+        attributes = list(atom.variables) + [PROBE_ATTRIBUTE]
+        relation_cls = type(self._db.relation(relation))
+        counts = {row + (index,): 1 for index, row in enumerate(rows)}
+        probe = relation_cls(attributes, counts)
+        predicate = component.query.selections.get(relation)
+        if predicate is not None:
+            probe = probe.filter(predicate)
+        return probe
+
+    def _propagate(self, component: _Component, relation: str, probe):
+        """Push the tagged delta from ``relation``'s node to the root.
+
+        Every join partner's attributes are contained in the current
+        node's attribute set, so the delta never grows columns beyond
+        ``A_v ∪ {probe}`` and shrinks to the parent-shared attributes at
+        each group-by — the per-probe work is bounded by the path, not
+        the database.
+        """
+        tree = component.bound.tree
+        node_id = tree.node_of_relation(relation)
+        delta = probe
+        others = component.node_others[relation]
+        if others is not None:
+            delta = join(delta, others)
+        for child in tree.children(node_id):
+            delta = join(delta, component.botjoins[child])
+        delta = group_by(
+            delta, sorted(tree.shared_with_parent(node_id)) + [PROBE_ATTRIBUTE]
+        )
+        while tree.parent(node_id) is not None:
+            parent = tree.parent(node_id)
+            delta = join(delta, component.sibling_complement[node_id])
+            delta = group_by(
+                delta, sorted(tree.shared_with_parent(parent)) + [PROBE_ATTRIBUTE]
+            )
+            node_id = parent
+        return delta

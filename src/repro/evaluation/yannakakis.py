@@ -139,25 +139,28 @@ def evaluate_bound(bound: BoundTree) -> Relation:
     return result
 
 
-def default_tree(query: ConjunctiveQuery) -> DecompositionTree:
+def default_tree(query: ConjunctiveQuery, max_width: int = 3) -> DecompositionTree:
     """The tree the engine picks when the caller supplies none: GYO join
-    tree for acyclic queries, automatic GHD otherwise.  The query must be
-    connected (components are handled by the top-level functions)."""
-    return auto_decompose(query)
+    tree for acyclic queries, automatic GHD (node size ≤ ``max_width``)
+    otherwise.  The query must be connected (components are handled by the
+    top-level functions)."""
+    return auto_decompose(query, max_width=max_width)
 
 
 def _component_trees(
-    query: ConjunctiveQuery, tree: Optional[DecompositionTree]
+    query: ConjunctiveQuery,
+    tree: Optional[DecompositionTree],
+    max_width: int = 3,
 ) -> List[Tuple[ConjunctiveQuery, DecompositionTree]]:
     if tree is not None:
         return [(query, tree)]
     components = query.connected_components()
     if len(components) == 1:
-        return [(query, default_tree(query))]
+        return [(query, default_tree(query, max_width))]
     pairs: List[Tuple[ConjunctiveQuery, DecompositionTree]] = []
     for i, component in enumerate(components):
         sub = query.subquery(component, name=f"{query.name}#c{i}")
-        pairs.append((sub, default_tree(sub)))
+        pairs.append((sub, default_tree(sub, max_width)))
     return pairs
 
 

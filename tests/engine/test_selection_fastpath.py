@@ -1,0 +1,112 @@
+"""Columnar selection / domain fast paths stay observationally identical.
+
+The columnar backend evaluates structural DSL predicates once per distinct
+dictionary code (``repro.engine.columnar._predicate_mask``) and intersects
+representative domains at the code level — both must return exactly what
+the per-row / value-level paths return.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import Database, Relation
+from repro.engine.columnar import (
+    ColumnarRelation,
+    intersect_column_values,
+    reset_vocabulary,
+)
+from repro.query import parse_predicate, parse_query
+
+PREDICATES = [
+    "A = 1",
+    "A != 1",
+    "B >= 4",
+    "A in {0, 2}",
+    "C in {'u', 'v'}",
+    "A = 0 and B < 6",
+    "A = 0 or (not B = 4)",
+    "not (A in {1} and C = 'u')",
+    "true",
+    "A > 99",
+]
+
+
+def _instances():
+    rng = np.random.default_rng(7)
+    rows = [
+        (int(a), int(b), ["u", "v", "w"][int(c)])
+        for a, b, c in zip(
+            rng.integers(0, 3, 60), rng.integers(0, 9, 60), rng.integers(0, 3, 60)
+        )
+    ]
+    return Relation(["A", "B", "C"], rows), ColumnarRelation(["A", "B", "C"], rows)
+
+
+class TestPredicateFastPath:
+    @pytest.mark.parametrize("text", PREDICATES)
+    def test_matches_python_backend(self, text):
+        python_rel, columnar_rel = _instances()
+        predicate = parse_predicate(text)
+        assert columnar_rel.filter(predicate).same_bag(python_rel.filter(predicate))
+
+    def test_callable_fallback_matches(self):
+        python_rel, columnar_rel = _instances()
+        predicate = lambda row: row["A"] == row["B"] % 3
+        assert columnar_rel.filter(predicate).same_bag(python_rel.filter(predicate))
+
+    def test_missing_attribute_raises_like_per_row(self):
+        _, columnar_rel = _instances()
+        with pytest.raises(KeyError):
+            columnar_rel.filter(parse_predicate("Z = 1"))
+
+    def test_empty_relation(self):
+        empty = ColumnarRelation(["A", "B"], [])
+        assert empty.filter(parse_predicate("A = 1")).is_empty()
+
+    def test_bound_relation_uses_fast_path_result(self):
+        query = parse_query("Q(A,B) :- R(A,B)").with_selection(
+            "R", parse_predicate("A = 1")
+        )
+        rows = [(1, 2), (1, 3), (2, 2)]
+        db_py = Database({"R": Relation(["X", "Y"], rows)})
+        db_col = db_py.with_backend("columnar")
+        bound_py = query.bound_relation(db_py, "R")
+        bound_col = query.bound_relation(db_col, "R")
+        assert isinstance(bound_col, ColumnarRelation)
+        assert bound_col.same_bag(bound_py)
+
+
+class TestRepresentativeDomainFastPath:
+    def _db_pair(self):
+        db_py = Database(
+            {
+                "R": Relation(["A", "B"], [(1, 2), (3, 4), (5, 6)]),
+                "S": Relation(["A", "C"], [(1, 9), (5, 9), (7, 7)]),
+                "T": Relation(["A"], [(1,), (7,)]),
+            }
+        )
+        return db_py, db_py.with_backend("columnar")
+
+    def test_matches_value_level_intersection(self):
+        db_py, db_col = self._db_pair()
+        for relation in ("R", "S", "T"):
+            assert db_py.representative_domain(
+                "A", relation
+            ) == db_col.representative_domain("A", relation)
+            assert sorted(db_py.representative_tuples(relation), key=repr) == sorted(
+                db_col.representative_tuples(relation), key=repr
+            )
+
+    def test_intersect_column_values_kernel(self):
+        _, db_col = self._db_pair()
+        others = [db_col.relation("S"), db_col.relation("T")]
+        assert intersect_column_values(others, "A") == frozenset({1, 7})
+
+    def test_cross_vocabulary_falls_back(self):
+        first = ColumnarRelation(["A"], [(1,), (2,)])
+        reset_vocabulary()
+        second = ColumnarRelation(["A", "B"], [(2, 5), (3, 5)])
+        third = ColumnarRelation(["A"], [(2,), (3,)])
+        assert intersect_column_values([first, second], "A") is None
+        db = Database({"R": first, "S": second, "T": third})
+        assert db.representative_domain("A", "R") == frozenset({2, 3})

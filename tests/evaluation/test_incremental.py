@@ -1,0 +1,194 @@
+"""Unit tests for the incremental delta re-evaluator."""
+
+import pytest
+
+from repro.engine import Database, Relation
+from repro.engine.columnar import ColumnarRelation
+from repro.evaluation import IncrementalEvaluator, PROBE_ATTRIBUTE, count_query
+from repro.core import naive_tuple_sensitivity
+from repro.query import parse_predicate, parse_query
+from repro.query.jointree import join_tree_from_parents
+from repro.exceptions import (
+    MultiplicityOverflowError,
+    SchemaError,
+    UnknownRelationError,
+)
+
+BACKENDS = ("python", "columnar")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestAgainstFullReevaluation:
+    def test_base_count_matches(self, fig1_query, fig1_db, backend):
+        db = fig1_db.with_backend(backend)
+        evaluator = IncrementalEvaluator(fig1_query, db)
+        assert evaluator.base_count == count_query(fig1_query, db)
+
+    def test_deltas_match_per_tuple_reruns(self, fig1_query, fig1_db, backend):
+        db = fig1_db.with_backend(backend)
+        evaluator = IncrementalEvaluator(fig1_query, db)
+        for relation in fig1_query.relation_names:
+            for row in db.relation(relation):
+                expected = naive_tuple_sensitivity(fig1_query, db, relation, row)
+                assert evaluator.delta(relation, row) == expected
+                assert evaluator.count_after_insert(relation, row) == count_query(
+                    fig1_query, db.add_tuple(relation, row)
+                )
+                assert evaluator.count_after_delete(relation, row) == count_query(
+                    fig1_query, db.remove_tuple(relation, row)
+                )
+
+    def test_batch_matches_single_probes(self, fig3_query, fig3_db, backend):
+        db = fig3_db.with_backend(backend)
+        evaluator = IncrementalEvaluator(fig3_query, db)
+        for relation in fig3_query.relation_names:
+            rows = list(db.relation(relation)) + [("zz", "zz")]
+            batch = evaluator.delta_batch(relation, rows)
+            assert batch == [evaluator.delta(relation, row) for row in rows]
+
+    def test_duplicate_row_deletes_one_occurrence(self, fig3_query, fig3_db, backend):
+        # Fig. 3's R1 holds ("a2", "b2") twice; the probe must account for
+        # removing a single occurrence, not the whole group.
+        db = fig3_db.with_backend(backend)
+        evaluator = IncrementalEvaluator(fig3_query, db)
+        expected = evaluator.base_count - count_query(
+            fig3_query, db.remove_tuple("R1", ("a2", "b2"))
+        )
+        assert evaluator.delta("R1", ("a2", "b2")) == expected
+
+    def test_ghd_triangle(self, triangle_query, triangle_db, backend):
+        db = triangle_db.with_backend(backend)
+        evaluator = IncrementalEvaluator(triangle_query, db)
+        assert evaluator.base_count == count_query(triangle_query, db)
+        for relation in triangle_query.relation_names:
+            for row in db.relation(relation):
+                expected = naive_tuple_sensitivity(
+                    triangle_query, db, relation, row
+                )
+                assert evaluator.delta(relation, row) == expected
+
+    def test_disconnected_components_multiply(self, backend):
+        query = parse_query("Q(A,B) :- R(A), S(B)")
+        db = Database(
+            {
+                "R": Relation(["A"], [(1,), (1,), (2,)]),
+                "S": Relation(["B"], [(7,), (8,)]),
+            },
+            backend=backend,
+        )
+        evaluator = IncrementalEvaluator(query, db)
+        assert evaluator.base_count == 6
+        # Inserting into R adds |S| join results, and vice versa.
+        assert evaluator.delta("R", (9,)) == 2
+        assert evaluator.delta("S", (9,)) == 3
+        assert evaluator.count_after_delete("R", (1,)) == 4
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestEdgeCases:
+    def test_empty_relation(self, backend):
+        query = parse_query("Q(A,B) :- R(A), S(A,B)")
+        db = Database(
+            {
+                "R": Relation(["A"], []),
+                "S": Relation(["A", "B"], [(1, 2), (1, 3)]),
+            },
+            backend=backend,
+        )
+        evaluator = IncrementalEvaluator(query, db)
+        assert evaluator.base_count == 0
+        assert evaluator.delta("R", (1,)) == 2
+        assert evaluator.delta("R", (9,)) == 0
+        assert evaluator.delta_batch("S", [(1, 2)]) == [0]
+
+    def test_zero_count_deltas(self, fig1_query, fig1_db, backend):
+        db = fig1_db.with_backend(backend)
+        evaluator = IncrementalEvaluator(fig1_query, db)
+        # A tuple joining nothing contributes nothing.
+        assert evaluator.delta("R3", ("zz", "zz")) == 0
+        # Deleting an absent tuple is a no-op.
+        assert evaluator.count_after_delete("R3", ("zz", "zz")) == (
+            evaluator.base_count
+        )
+
+    def test_selection_blocks_probe(self, backend):
+        query = parse_query("Q(A,B) :- R(A), S(A,B)").with_selection(
+            "R", parse_predicate("A != 1")
+        )
+        db = Database(
+            {
+                "R": Relation(["A"], [(1,), (2,)]),
+                "S": Relation(["A", "B"], [(1, 2), (2, 3)]),
+            },
+            backend=backend,
+        )
+        evaluator = IncrementalEvaluator(query, db)
+        assert evaluator.base_count == 1
+        assert evaluator.delta("R", (1,)) == 0  # filtered out -> no effect
+        assert evaluator.delta("R", (2,)) == 1
+
+    def test_empty_batch(self, fig1_query, fig1_db, backend):
+        db = fig1_db.with_backend(backend)
+        evaluator = IncrementalEvaluator(fig1_query, db)
+        assert evaluator.delta_batch("R1", []) == []
+
+    def test_unknown_relation(self, fig1_query, fig1_db, backend):
+        evaluator = IncrementalEvaluator(
+            fig1_query, fig1_db.with_backend(backend)
+        )
+        with pytest.raises(UnknownRelationError):
+            evaluator.delta("nope", (1, 2, 3))
+
+    def test_probe_arity_mismatch(self, fig1_query, fig1_db, backend):
+        evaluator = IncrementalEvaluator(
+            fig1_query, fig1_db.with_backend(backend)
+        )
+        with pytest.raises(SchemaError):
+            evaluator.delta("R1", ("a1",))
+
+    def test_reserved_probe_variable_rejected(self, backend):
+        from repro.query.atoms import Atom
+        from repro.query.conjunctive import ConjunctiveQuery
+
+        query = ConjunctiveQuery([Atom("R", ("A", PROBE_ATTRIBUTE))])
+        db = Database(
+            {"R": Relation(["A", "B"], [(1, 2)])}, backend=backend
+        )
+        with pytest.raises(SchemaError):
+            IncrementalEvaluator(query, db)
+
+
+class TestOverflowPropagation:
+    def test_columnar_probe_overflow_raises(self):
+        # Star tree rooted at the empty R: the base structure builds fine
+        # (every botjoin fits int64, the root join is empty), but a probe
+        # into R multiplies the two 2^62 child botjoins and must surface
+        # the columnar overflow rather than wrap.
+        query = parse_query("Q(A) :- R(A), S1(A), S2(A)")
+        huge = 2**62
+        db = Database(
+            {
+                "R": ColumnarRelation(["A"], {}),
+                "S1": ColumnarRelation(["A"], {("x",): huge}),
+                "S2": ColumnarRelation(["A"], {("x",): huge}),
+            }
+        )
+        tree = join_tree_from_parents(query, "R", {"S1": "R", "S2": "R"})
+        evaluator = IncrementalEvaluator(query, db, tree=tree)
+        assert evaluator.base_count == 0
+        with pytest.raises(MultiplicityOverflowError):
+            evaluator.delta("R", ("x",))
+
+    def test_python_backend_is_arbitrary_precision(self):
+        query = parse_query("Q(A) :- R(A), S1(A), S2(A)")
+        huge = 2**62
+        db = Database(
+            {
+                "R": Relation(["A"], {}),
+                "S1": Relation(["A"], {("x",): huge}),
+                "S2": Relation(["A"], {("x",): huge}),
+            }
+        )
+        tree = join_tree_from_parents(query, "R", {"S1": "R", "S2": "R"})
+        evaluator = IncrementalEvaluator(query, db, tree=tree)
+        assert evaluator.delta("R", ("x",)) == huge * huge

@@ -1,0 +1,134 @@
+"""Incremental == full re-evaluation == naive, on random instances.
+
+Hypothesis drives random acyclic, path and cyclic queries plus random
+databases through the re-evaluation baseline in both probe modes and
+through the naive Theorem 3.1 search, on both execution backends, and
+demands identical ``SensitivityResult``s.  This is the contract that lets
+``baselines/reeval.py`` default to the incremental engine (and the bench
+run it unsampled) without weakening the baseline's role as a correctness
+cross-check.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import reevaluation_sensitivity
+from repro.core import naive_local_sensitivity
+from repro.datasets import random_acyclic_query, random_database, random_path_query
+from repro.evaluation import IncrementalEvaluator, count_query
+from repro.query import parse_predicate, parse_query
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+BACKENDS = ("python", "columnar")
+
+
+def _assert_same_result(incremental, full, query):
+    assert incremental.local_sensitivity == full.local_sensitivity
+    for relation in query.relation_names:
+        a, b = incremental.per_relation[relation], full.per_relation[relation]
+        assert a.sensitivity == b.sensitivity
+        assert dict(a.assignment) == dict(b.assignment)
+    if full.witness is None:
+        assert incremental.witness is None
+    else:
+        assert incremental.witness is not None
+        assert incremental.witness.sensitivity == full.witness.sensitivity
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestExactEquivalence:
+    @given(seeds, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_acyclic_matches_full_and_naive(self, backend, seed, num_atoms):
+        rng = np.random.default_rng(seed)
+        query = random_acyclic_query(rng, num_atoms=num_atoms)
+        db = random_database(query, rng, backend=backend)
+        incremental = reevaluation_sensitivity(query, db, mode="incremental")
+        full = reevaluation_sensitivity(query, db, mode="full")
+        naive = naive_local_sensitivity(query, db)
+        _assert_same_result(incremental, full, query)
+        assert incremental.local_sensitivity == naive.local_sensitivity
+
+    @given(seeds, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_path_queries_match(self, backend, seed, length):
+        rng = np.random.default_rng(seed)
+        query = random_path_query(rng, length=length)
+        db = random_database(query, rng, backend=backend)
+        _assert_same_result(
+            reevaluation_sensitivity(query, db, mode="incremental"),
+            reevaluation_sensitivity(query, db, mode="full"),
+            query,
+        )
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_cyclic_ghd_matches(self, backend, seed):
+        rng = np.random.default_rng(seed)
+        query = parse_query("R1(A,B), R2(B,C), R3(C,A)")
+        db = random_database(
+            query, rng, domain_size=3, max_rows=5, backend=backend
+        )
+        incremental = reevaluation_sensitivity(query, db, mode="incremental")
+        full = reevaluation_sensitivity(query, db, mode="full")
+        naive = naive_local_sensitivity(query, db)
+        _assert_same_result(incremental, full, query)
+        assert incremental.local_sensitivity == naive.local_sensitivity
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_selections_match(self, backend, seed):
+        rng = np.random.default_rng(seed)
+        query = random_acyclic_query(rng, num_atoms=3)
+        target = query.relation_names[int(rng.integers(0, 3))]
+        pivot = int(rng.integers(0, 3))
+        first_var = query.atom(target).variables[0]
+        # A DSL predicate, so the columnar run exercises the
+        # dictionary-level selection fast path end to end.
+        filtered = query.with_selection(
+            target, parse_predicate(f"{first_var} != {pivot}")
+        )
+        db = random_database(query, rng, backend=backend)
+        incremental = reevaluation_sensitivity(filtered, db, mode="incremental")
+        full = reevaluation_sensitivity(filtered, db, mode="full")
+        naive = naive_local_sensitivity(filtered, db)
+        _assert_same_result(incremental, full, filtered)
+        assert incremental.local_sensitivity == naive.local_sensitivity
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestProbeLevelEquivalence:
+    @given(seeds, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_every_delta_matches_a_full_rerun(self, backend, seed, num_atoms):
+        """Not just the argmax: every probed delta must equal a re-run."""
+        rng = np.random.default_rng(seed)
+        query = random_acyclic_query(rng, num_atoms=num_atoms)
+        db = random_database(query, rng, backend=backend)
+        evaluator = IncrementalEvaluator(query, db)
+        base = count_query(query, db)
+        assert evaluator.base_count == base
+        for relation in query.relation_names:
+            rows = list(db.relation(relation))[:4]
+            arity = query.atom(relation).arity
+            rows.append(tuple(-1 for _ in range(arity)))  # never joins
+            for row, delta in zip(rows, evaluator.delta_batch(relation, rows)):
+                assert delta == (
+                    count_query(query, db.add_tuple(relation, row)) - base
+                )
+
+    @given(seeds, st.integers(min_value=0, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_sampled_modes_draw_identical_probes(self, backend, seed, sample_seed):
+        rng = np.random.default_rng(seed)
+        query = random_acyclic_query(rng, num_atoms=3)
+        db = random_database(query, rng, backend=backend)
+        incremental = reevaluation_sensitivity(
+            query, db, max_probes_per_relation=3, seed=sample_seed
+        )
+        full = reevaluation_sensitivity(
+            query, db, max_probes_per_relation=3, seed=sample_seed, mode="full"
+        )
+        _assert_same_result(incremental, full, query)
