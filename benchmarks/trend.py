@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Render the BENCH_<backend>.json timing trajectory as one table.
+
+The benchmark conftest merges per-test wall times into
+``benchmarks/BENCH_<backend>.json`` after every successful run.  This
+script is the read side: one row per benchmark, one column per backend,
+plus the python/columnar ratio — so CI logs (and anyone running the
+suite locally) see the performance trajectory instead of a pair of
+opaque JSON blobs.
+
+Run with::
+
+    python benchmarks/trend.py [--json]
+
+``--json`` emits the merged structure for machine consumption (the CI
+artifact upload keeps the raw files as well).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def load_reports() -> dict:
+    """``backend -> {test node id -> seconds}`` from every BENCH file."""
+    reports = {}
+    for path in sorted(BENCH_DIR.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (ValueError, OSError) as error:
+            print(f"warning: skipping {path.name}: {error}", file=sys.stderr)
+            continue
+        backend = payload.get("backend", path.stem.replace("BENCH_", ""))
+        reports[backend] = payload.get("timings_seconds", {})
+    return reports
+
+
+def render(reports: dict) -> str:
+    if not reports:
+        return "no BENCH_<backend>.json files found — run the benchmarks first"
+    backends = sorted(reports)
+    tests = sorted({node for timings in reports.values() for node in timings})
+    name_width = max(len(t) for t in tests)
+    header = f"{'benchmark':<{name_width}}" + "".join(
+        f"  {b:>10}" for b in backends
+    )
+    show_ratio = {"python", "columnar"} <= set(backends)
+    if show_ratio:
+        header += f"  {'py/col':>7}"
+    lines = [header, "-" * len(header)]
+    for test in tests:
+        row = f"{test:<{name_width}}"
+        for backend in backends:
+            seconds = reports[backend].get(test)
+            row += f"  {seconds:>10.3f}" if seconds is not None else f"  {'-':>10}"
+        if show_ratio:
+            py = reports["python"].get(test)
+            col = reports["columnar"].get(test)
+            if py is not None and col:
+                row += f"  {py / col:>6.1f}x"
+            else:
+                row += f"  {'-':>7}"
+        lines.append(row)
+    for backend in backends:
+        total = sum(reports[backend].values())
+        lines.append(f"total {backend}: {total:.2f}s over "
+                     f"{len(reports[backend])} benchmarks")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", action="store_true", help="emit the merged JSON instead"
+    )
+    args = parser.parse_args()
+    reports = load_reports()
+    if args.json:
+        print(json.dumps(reports, indent=1, sort_keys=True))
+    else:
+        print(render(reports))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,13 @@
 #!/usr/bin/env python
 """Differentially private graph-pattern counting on an ego-network.
 
-Reproduces the paper's Facebook scenario end to end: build the circle edge
-tables, then answer the triangle / path / cycle / star counting queries
-under ε-differential privacy with TSensDP, comparing against the
-PrivSQL-style baseline.  R2 is the primary private relation, as in
-Sec. 7.3.
+Reproduces the paper's Facebook scenario end to end through the session
+API: build the circle edge tables, prepare each triangle / path / cycle /
+star counting query once, then answer it under ε-differential privacy
+with TSensDP and the PrivSQL-style baseline via the unified
+``session.release(...)`` facade.  R2 is the primary private relation, as
+in Sec. 7.3; a :class:`~repro.dp.accountant.BudgetAccountant` tracks the
+combined spend of both releases per query.
 
 Run with::
 
@@ -16,9 +18,9 @@ import sys
 
 import numpy as np
 
+from repro import prepare
 from repro.datasets import generate_ego_network, graph_statistics
-from repro.dp import run_privsql, run_tsens_dp
-from repro.dp.truncation import TruncationOracle
+from repro.dp import BudgetAccountant
 from repro.experiments.table2 import loose_bound
 from repro.workloads import facebook_workloads
 
@@ -27,32 +29,31 @@ def main() -> None:
     epsilon = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
     db = generate_ego_network(seed=0)
     print(f"ego-network tables: {graph_statistics(db)}")
-    print(f"privacy budget ε = {epsilon} (half for threshold learning)\n")
+    print(f"privacy budget ε = {epsilon} per release "
+          f"(half for threshold learning)\n")
     rng = np.random.default_rng(2026)
 
     for workload in facebook_workloads():
         assert workload.primary is not None
-        # One sensitivity pass per query; each mechanism run reuses it.
-        oracle = TruncationOracle(
-            workload.query, db, workload.primary, tree=workload.tree
-        )
+        # One prepare per query; both mechanisms reuse its cached
+        # sensitivity pass and truncation oracle.
+        session = prepare(workload.query, db, tree=workload.tree)
+        oracle = session.truncation_oracle(workload.primary)
         ell = loose_bound(oracle.max_primary_sensitivity, floor=workload.ell)
-        tsens_out = run_tsens_dp(
-            workload.query,
-            db,
+        accountant = BudgetAccountant(2 * epsilon)
+        tsens_out = session.release(
+            epsilon,
+            mechanism="tsensdp",
             primary=workload.primary,
-            epsilon=epsilon,
             ell=ell,
-            tree=workload.tree,
-            oracle=oracle,
+            accountant=accountant,
             rng=rng,
         )
-        privsql_out = run_privsql(
-            workload.query,
-            db,
+        privsql_out = session.release(
+            epsilon,
+            mechanism="privsql",
             primary=workload.primary,
-            epsilon=epsilon,
-            tree=workload.tree,
+            accountant=accountant,
             rng=rng,
         )
         print(f"=== {workload.name}: {workload.description}")
@@ -67,6 +68,10 @@ def main() -> None:
             f"  PrivSQL             : answer={privsql_out.answer:,.0f}"
             f"  GS={privsql_out.global_sensitivity:,}"
             f"  rel.err={privsql_out.relative_error:.2%}"
+        )
+        print(
+            f"  budget ledger       : {accountant.ledger()} "
+            f"(remaining {accountant.remaining:.3g})"
         )
         print()
 

@@ -13,9 +13,8 @@ Run with::
     python examples/query_explanation.py
 """
 
-from repro.core import local_sensitivity
+from repro import prepare
 from repro.engine import Database, Relation
-from repro.evaluation import count_query
 from repro.query import parse_query
 
 
@@ -42,10 +41,10 @@ def main() -> None:
             "Leg3": Relation(["H2", "DST"], leg3),
         }
     )
-    total = count_query(query, db)
-    print(f"connecting itineraries today: {total}\n")
+    session = prepare(query, db)
+    print(f"connecting itineraries today: {session.count()}\n")
 
-    result = local_sensitivity(query, db)
+    result = session.sensitivity()
     witness = result.witness
     print(
         f"most impactful single flight: {witness.relation} "
@@ -70,6 +69,15 @@ def main() -> None:
         "\nreading: candidate legs are *upward* sensitivities (what a new"
         "\nflight would unlock); existing legs are *downward* (what a"
         "\ncancellation would destroy). One multiplicity table gives both."
+    )
+
+    # The airline schedules the most impactful flight: commit it to the
+    # session, which maintains the itinerary count without replanning.
+    row = witness.as_row(query.atom(witness.relation).variables)
+    after = session.insert(witness.relation, row)
+    print(
+        f"\nafter scheduling {witness.relation} {row}: "
+        f"{after} itineraries ({witness.sensitivity:+d})"
     )
 
 

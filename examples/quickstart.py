@@ -1,18 +1,22 @@
 #!/usr/bin/env python
-"""Quickstart: local sensitivity of a join counting query.
+"""Quickstart: a prepared-query session over the paper's running example.
 
-Builds the paper's running example (Figure 1): four relations whose natural
-join produces a single tuple, yet whose local sensitivity is 4 — inserting
-``(a2, b2, c1)`` into ``R1`` would create four new join results at once.
+Builds the paper's Figure 1 instance (four relations whose natural join
+produces a single tuple, yet whose local sensitivity is 4), prepares the
+query once, and then asks the session for counts, sensitivities and
+witnesses — finishing with a couple of committed updates, which the
+session absorbs by recomputing only the touched join-tree path instead of
+replanning from scratch.
 
 Run with::
 
     python examples/quickstart.py
 """
 
+from repro import prepare
+from repro.core import naive_local_sensitivity
 from repro.engine import Database, Relation
-from repro.evaluation import count_query, evaluate_query
-from repro.core import local_sensitivity, naive_local_sensitivity
+from repro.evaluation import evaluate_query
 from repro.query import parse_query
 
 
@@ -35,19 +39,21 @@ def main() -> None:
         }
     )
 
-    print(f"query: {query}")
-    print(f"join output size |Q(D)| = {count_query(query, db)}")
+    # Plan once: classify the query, build the decomposition, cache state.
+    session = prepare(query, db)
+    print(f"query: {session.query}")
+    print(f"join output size |Q(D)| = {session.count()}")
     print(f"join output: {sorted(evaluate_query(query, db).items())}")
 
-    # TSens: local sensitivity + the most sensitive tuple, in one pass.
-    result = local_sensitivity(query, db)
+    # TSens: local sensitivity + the most sensitive tuple, from the session.
+    result = session.sensitivity()
     print(f"\nTSens local sensitivity : {result.local_sensitivity}")
     print(f"most sensitive tuple    : {result.witness.relation} "
           f"{dict(result.witness.assignment)}")
 
     # Every relation gets its own most sensitive tuple (the Fig. 6b view).
     print("\nper-relation most sensitive tuples:")
-    for relation, witness in result.per_relation.items():
+    for relation, witness in session.most_sensitive().items():
         print(f"  {relation}: {dict(witness.assignment)}  δ = {witness.sensitivity}")
 
     # Tuple sensitivities of arbitrary tuples come from the same tables.
@@ -58,6 +64,18 @@ def main() -> None:
     naive = naive_local_sensitivity(query, db)
     assert naive.local_sensitivity == result.local_sensitivity
     print(f"brute-force check        : LS = {naive.local_sensitivity}  ✓")
+
+    # Commit updates: the session maintains |Q(D)| by recomputing only the
+    # touched leaf-to-root path, and invalidates its sensitivity caches.
+    print("\ncommitting the witness insert and one delete ...")
+    count = session.insert("R1", ("a2", "b2", "c1"))
+    print(f"after insert: |Q(D)| = {count} (was 1)")
+    count = session.delete("R4", ("b1", "f1"))
+    print(f"after delete: |Q(D)| = {count}")
+    print(f"new local sensitivity   : "
+          f"{session.sensitivity().local_sensitivity}")
+    assert session.count() == prepare(query, session.db).count()
+    print(f"session state           : {session}")
 
 
 if __name__ == "__main__":

@@ -17,9 +17,7 @@ up to 10.
 import sys
 
 from repro.baselines import elastic_per_relation, plan_from_tree
-from repro.core import local_sensitivity
 from repro.datasets import generate_tpch, table_sizes
-from repro.evaluation import count_query
 from repro.experiments.runner import measure_workload
 from repro.query import auto_decompose
 from repro.workloads import tpch_workloads

@@ -8,6 +8,8 @@ Queries with Joins" (Tao, He, Machanavajjhala, Roy — SIGMOD 2020):
 * the TSens / LSPathJoin sensitivity algorithms (:mod:`repro.core`),
 * the Elastic (Flex) baseline (:mod:`repro.baselines`),
 * truncation-based DP mechanisms TSensDP and PrivSQL (:mod:`repro.dp`),
+* prepared-query sessions that plan once and serve counts, sensitivities,
+  DP releases and update streams from cached state (:mod:`repro.session`),
 * the paper's datasets and workloads (:mod:`repro.datasets`,
   :mod:`repro.workloads`) and experiment harness (:mod:`repro.experiments`).
 
@@ -15,12 +17,18 @@ Quickstart::
 
     from repro.query import parse_query
     from repro.engine import Database, Relation
-    from repro.core import local_sensitivity
+    from repro import prepare
 
     q = parse_query("Q(A,B,C) :- R(A,B), S(B,C)")
     db = Database({"R": Relation(["A", "B"], [(1, 2)]),
                    "S": Relation(["B", "C"], [(2, 3), (2, 4)])})
-    print(local_sensitivity(q, db).local_sensitivity)  # 2
+    session = prepare(q, db)
+    print(session.sensitivity().local_sensitivity)  # 2
+    session.insert("R", (5, 2))                     # maintained, no rebuild
+    print(session.count())                          # 4
+
+The stateless one-shot helpers (``local_sensitivity(q, db)``, ...) remain
+available with unchanged signatures for single queries.
 """
 
 from repro.core import (
@@ -31,12 +39,14 @@ from repro.core import (
 )
 from repro.engine import Database, Relation, Schema
 from repro.query import ConjunctiveQuery, parse_query
+from repro.session import PreparedQuery, prepare
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConjunctiveQuery",
     "Database",
+    "PreparedQuery",
     "Relation",
     "Schema",
     "SensitiveTuple",
@@ -44,5 +54,6 @@ __all__ = [
     "local_sensitivity",
     "most_sensitive_tuples",
     "parse_query",
+    "prepare",
     "__version__",
 ]

@@ -71,6 +71,7 @@ def reevaluation_sensitivity(
     seed: int = 0,
     mode: str = "incremental",
     max_width: int = 3,
+    evaluator: Optional[IncrementalEvaluator] = None,
 ) -> SensitivityResult:
     """Local sensitivity via one count probe per candidate tuple.
 
@@ -94,6 +95,12 @@ def reevaluation_sensitivity(
     max_width:
         GHD node-size cap for the automatic decomposition of cyclic
         queries (ignored when ``tree`` is given).
+    evaluator:
+        For ``mode="incremental"``: a live
+        :class:`~repro.evaluation.incremental.IncrementalEvaluator` whose
+        cached state already reflects ``db`` (e.g. the one a
+        :class:`~repro.session.PreparedQuery` maintains).  Skips the
+        build; ignored in ``"full"`` mode.
     """
     if mode not in REEVAL_MODES:
         raise MechanismConfigError(
@@ -103,10 +110,14 @@ def reevaluation_sensitivity(
     rng = np.random.default_rng(seed)
 
     if mode == "incremental":
-        evaluator = IncrementalEvaluator(query, db, tree=tree, max_width=max_width)
+        if evaluator is None:
+            evaluator = IncrementalEvaluator(
+                query, db, tree=tree, max_width=max_width
+            )
+        probe_evaluator = evaluator
 
         def deltas_of(relation: str, rows) -> List[int]:
-            return evaluator.delta_batch(relation, rows)
+            return probe_evaluator.delta_batch(relation, rows)
     else:
         pairs = _component_trees(query, tree, max_width)
 

@@ -1,32 +1,42 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's day-to-day uses:
+Five commands cover the library's day-to-day uses:
 
 ``sensitivity``
     Local sensitivity of a query over data on disk (CSV directory or JSON
     database), with the most sensitive tuple per relation.
 ``count``
     The bag count ``|Q(D)|``.
+``explain``
+    TSens cost profile (intermediate sizes, table factors).
+``bench-session``
+    Drive an insert/delete stream through one maintained
+    :class:`~repro.session.PreparedQuery` and through rebuild-per-update,
+    verify they agree, and report the speedup.
 ``experiment``
     Re-run one of the paper's experiments (fig6a, fig6b, fig7, table1,
     table2, params) and print its table.
 ``generate``
     Materialise a synthetic dataset (tpch or facebook) to a JSON database
     file for use with the other commands.
+
+``sensitivity``, ``count``, ``explain`` and ``bench-session`` all go
+through one shared prepare step (:func:`repro.session.prepare`): load,
+parse, attach selections, plan — then ask the session.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
 from repro.engine.backend import BACKEND_NAMES, DEFAULT_BACKEND
 from repro.engine.io import load_database, load_database_csv_dir, save_database
-from repro.evaluation import count_query
 from repro.query import parse_query
-from repro.core import local_sensitivity
+from repro.session import PreparedQuery, prepare, rebuild_per_update_counts
 from repro.exceptions import ReproError
 
 
@@ -64,18 +74,22 @@ def _apply_where(query, clauses):
     return query
 
 
-def _cmd_sensitivity(args: argparse.Namespace) -> int:
+def _session_from_args(args: argparse.Namespace) -> PreparedQuery:
+    """The shared prepare step: load → parse → selections → plan."""
     db = _load_data(args.data, args.int_columns, args.backend)
     query = _apply_where(parse_query(args.query), args.where)
-    result = local_sensitivity(
-        query,
-        db,
+    return prepare(query, db)
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    session = _session_from_args(args)
+    result = session.sensitivity(
         method=args.method,
         top_k=args.top_k,
         skip_relations=tuple(args.skip or ()),
         reeval_mode=args.reeval_mode,
     )
-    print(f"query            : {query}")
+    print(f"query            : {session.query}")
     print(f"method           : {result.method}")
     print(f"local sensitivity: {result.local_sensitivity}")
     if result.witness is not None:
@@ -91,18 +105,51 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
-    db = _load_data(args.data, args.int_columns, args.backend)
-    query = _apply_where(parse_query(args.query), args.where)
-    print(count_query(query, db))
+    print(_session_from_args(args).count())
     return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    from repro.core import explain
+    session = _session_from_args(args)
+    print(session.explain(skip_relations=tuple(args.skip or ())))
+    return 0
 
-    db = _load_data(args.data, args.int_columns, args.backend)
-    query = _apply_where(parse_query(args.query), args.where)
-    print(explain(query, db, skip_relations=tuple(args.skip or ())))
+
+def _cmd_bench_session(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.datasets import random_update_stream
+
+    session = _session_from_args(args)
+    query, base = session.query, session.db
+    rng = np.random.default_rng(args.seed)
+    stream = random_update_stream(
+        query, base, rng, args.updates, insert_fraction=args.insert_fraction
+    )
+
+    start = time.perf_counter()
+    maintained_counts = [session.apply([update]) for update in stream]
+    maintained_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rebuilt_counts = rebuild_per_update_counts(query, base, stream)
+    rebuild_seconds = time.perf_counter() - start
+
+    agreement = maintained_counts == rebuilt_counts
+    speedup = rebuild_seconds / max(maintained_seconds, 1e-9)
+    print(f"query              : {query}")
+    print(f"backend            : {session.backend}")
+    print(f"updates applied    : {len(stream)} "
+          f"(count probed after each)")
+    print(f"final |Q(D)|       : {maintained_counts[-1] if stream else session.count()}")
+    print(f"maintained session : {maintained_seconds:.3f}s")
+    print(f"rebuild per update : {rebuild_seconds:.3f}s")
+    print(f"speedup            : {speedup:.1f}x")
+    print(f"counts agree       : {'yes' if agreement else 'NO'}")
+    if not agreement:
+        raise ReproError(
+            "maintained counts diverged from rebuild-per-update counts"
+        )
     return 0
 
 
@@ -154,6 +201,27 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options every prepare-based command shares."""
+    parser.add_argument("--query", required=True, help='e.g. "R(A,B), S(B,C)"')
+    parser.add_argument(
+        "--data", required=True, help="CSV directory or JSON database file"
+    )
+    parser.add_argument(
+        "--int-columns", action="store_true",
+        help="parse every CSV column as int",
+    )
+    parser.add_argument(
+        "--backend", default=DEFAULT_BACKEND, choices=BACKEND_NAMES,
+        help="execution backend for the engine (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--where", action="append",
+        help="selection clause 'RELATION: predicate', repeatable "
+             "(e.g. --where \"R: A = 1 and B in {2, 3}\")",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -164,10 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
     sens = subparsers.add_parser(
         "sensitivity", help="compute LS(Q, D) and the most sensitive tuple"
     )
-    sens.add_argument("--query", required=True, help='e.g. "R(A,B), S(B,C)"')
-    sens.add_argument(
-        "--data", required=True, help="CSV directory or JSON database file"
-    )
+    _add_data_arguments(sens)
     sens.add_argument(
         "--method",
         default="auto",
@@ -185,45 +250,34 @@ def build_parser() -> argparse.ArgumentParser:
     sens.add_argument(
         "--skip", nargs="*", help="relations with certified δ ≤ 1 to skip"
     )
-    sens.add_argument(
-        "--int-columns", action="store_true",
-        help="parse every CSV column as int",
-    )
-    sens.add_argument(
-        "--backend", default=DEFAULT_BACKEND, choices=BACKEND_NAMES,
-        help="execution backend for the engine (default: %(default)s)",
-    )
-    sens.add_argument(
-        "--where", action="append",
-        help="selection clause 'RELATION: predicate', repeatable "
-             "(e.g. --where \"R: A = 1 and B in {2, 3}\")",
-    )
     sens.set_defaults(handler=_cmd_sensitivity)
 
     count = subparsers.add_parser("count", help="compute |Q(D)|")
-    count.add_argument("--query", required=True)
-    count.add_argument("--data", required=True)
-    count.add_argument("--int-columns", action="store_true")
-    count.add_argument(
-        "--backend", default=DEFAULT_BACKEND, choices=BACKEND_NAMES,
-        help="execution backend for the engine (default: %(default)s)",
-    )
-    count.add_argument("--where", action="append")
+    _add_data_arguments(count)
     count.set_defaults(handler=_cmd_count)
 
     explain_cmd = subparsers.add_parser(
         "explain", help="profile a TSens run (intermediate sizes, factors)"
     )
-    explain_cmd.add_argument("--query", required=True)
-    explain_cmd.add_argument("--data", required=True)
-    explain_cmd.add_argument("--int-columns", action="store_true")
-    explain_cmd.add_argument(
-        "--backend", default=DEFAULT_BACKEND, choices=BACKEND_NAMES,
-        help="execution backend for the engine (default: %(default)s)",
-    )
-    explain_cmd.add_argument("--where", action="append")
+    _add_data_arguments(explain_cmd)
     explain_cmd.add_argument("--skip", nargs="*")
     explain_cmd.set_defaults(handler=_cmd_explain)
+
+    bench = subparsers.add_parser(
+        "bench-session",
+        help="maintained session vs rebuild-per-update on an update stream",
+    )
+    _add_data_arguments(bench)
+    bench.add_argument(
+        "--updates", type=int, default=200,
+        help="stream length (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--insert-fraction", type=float, default=0.5, dest="insert_fraction",
+        help="fraction of inserts in the stream (default: %(default)s)",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(handler=_cmd_bench_session)
 
     experiment = subparsers.add_parser(
         "experiment", help="re-run a paper experiment"

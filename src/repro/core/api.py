@@ -16,6 +16,12 @@ any, ``method="reeval"`` per-candidate count probes
 =======================  ==================================================
 
 All algorithms return the same :class:`~repro.core.result.SensitivityResult`.
+
+Since the session API landed these functions are thin one-shot wrappers
+over :func:`repro.session.prepare`: each call plans a throwaway
+:class:`~repro.session.PreparedQuery` and asks it once.  Callers issuing
+repeated queries, DP releases or updates against the same instance should
+hold the session instead — same results, none of the re-planning.
 """
 
 from __future__ import annotations
@@ -23,14 +29,11 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Optional
 
 from repro.engine.database import Database
-from repro.query.classify import is_path_query
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.jointree import DecompositionTree
-from repro.core.general import tsens
 from repro.core.naive import naive_local_sensitivity
-from repro.core.path import ls_path_join
 from repro.core.result import SensitivityResult
-from repro.core.topk import tsens_topk
+from repro.session import prepare
 from repro.exceptions import MechanismConfigError
 
 
@@ -91,32 +94,15 @@ def local_sensitivity(
     if method not in ("auto", "path", "tsens", "naive", "reeval"):
         raise MechanismConfigError(f"unknown method {method!r}")
     if method == "naive":
+        # Dispatched before planning: brute force needs no decomposition,
+        # so it must keep working on queries no GHD search can cover.
         return naive_local_sensitivity(query, db)
-    if method == "reeval":
-        if top_k is not None or tuple(skip_relations):
-            raise MechanismConfigError(
-                "method='reeval' supports neither top_k nor skip_relations; "
-                "use method='tsens' for those knobs"
-            )
-        # Imported lazily: repro.baselines imports repro.core.result, so a
-        # top-level import would cycle during package initialisation.
-        from repro.baselines.reeval import reevaluation_sensitivity
-
-        return reevaluation_sensitivity(
-            query, db, tree=tree, mode=reeval_mode, max_width=max_width
-        )
-    if top_k is not None:
-        return tsens_topk(
-            query, db, k=top_k, tree=tree, skip_relations=skip_relations
-        )
-    if method == "path" or (method == "auto" and tree is None and is_path_query(query)):
-        return ls_path_join(query, db)
-    return tsens(
-        query,
-        db,
-        tree=tree,
+    session = prepare(query, db, tree=tree, max_width=max_width)
+    return session.sensitivity(
+        method=method,
         skip_relations=skip_relations,
-        max_width=max_width,
+        top_k=top_k,
+        reeval_mode=reeval_mode,
     )
 
 
@@ -125,14 +111,14 @@ def most_sensitive_tuples(
     db: Database,
     tree: Optional[DecompositionTree] = None,
     skip_relations: Iterable[str] = (),
+    max_width: int = 3,
 ) -> Mapping[str, object]:
     """Per-relation most sensitive tuples (the paper's Fig. 6b report).
 
     Returns a mapping ``relation -> SensitiveTuple``, skipping relations in
     ``skip_relations`` (reported with bound 1, as the paper does for
-    LINEITEM in q3).
+    LINEITEM in q3).  ``max_width`` caps the automatic GHD node size for
+    cyclic queries, like everywhere else in the stack.
     """
-    result = local_sensitivity(
-        query, db, method="tsens", tree=tree, skip_relations=skip_relations
-    )
-    return result.per_relation
+    session = prepare(query, db, tree=tree, max_width=max_width)
+    return session.most_sensitive(skip_relations=skip_relations)

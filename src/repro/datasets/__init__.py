@@ -9,6 +9,7 @@ from repro.datasets.random_db import (
     random_acyclic_query,
     random_database,
     random_path_query,
+    random_update_stream,
 )
 from repro.datasets.tpch import generate_tpch, table_sizes
 
@@ -19,6 +20,7 @@ __all__ = [
     "random_acyclic_query",
     "random_database",
     "random_path_query",
+    "random_update_stream",
     "table_sizes",
     "triangle_table",
 ]

@@ -8,7 +8,9 @@ the naive algorithm on thousands of small random instances:
   exclusive variable);
 * :func:`random_path_query` — a chain with optional endpoint decorations;
 * :func:`random_database` — a random instance for any query, drawing each
-  attribute's values from a small shared domain so joins actually happen.
+  attribute's values from a small shared domain so joins actually happen;
+* :func:`random_update_stream` — a reproducible insert/delete stream over
+  a query's relations, for the session-maintenance benchmarks and tests.
 """
 
 from __future__ import annotations
@@ -101,3 +103,48 @@ def random_database(
         ]
         relations[atom.relation] = Relation(list(atom.variables), rows)
     return Database(relations, backend=backend)
+
+
+def random_update_stream(
+    query: ConjunctiveQuery,
+    db: Database,
+    rng: np.random.Generator,
+    length: int,
+    insert_fraction: float = 0.5,
+    domain_size: int = 5,
+) -> List[Tuple[str, str, Tuple]]:
+    """A reproducible ``(op, relation, row)`` insert/delete stream.
+
+    Drives the session benchmarks and equivalence tests.  Inserts mostly
+    duplicate or perturb rows the stream has seen for the relation (so
+    updates actually join); deletes draw from the same pool, which tracks
+    earlier stream inserts to keep deletes meaningful on a live session.
+    Relations are picked uniformly per step.
+    """
+    stream: List[Tuple[str, str, Tuple]] = []
+    pools = {rel: list(db.relation(rel)) for rel in query.relation_names}
+    names = query.relation_names
+    for _ in range(length):
+        relation = names[int(rng.integers(0, len(names)))]
+        atom = query.atom(relation)
+        pool = pools[relation]
+        if not pool or rng.random() < insert_fraction:
+            if pool and rng.random() < 0.8:
+                row = list(pool[int(rng.integers(0, len(pool)))])
+                if rng.random() < 0.5:
+                    # Splice one position from another pooled row so some
+                    # inserts create genuinely new join combinations.
+                    donor = pool[int(rng.integers(0, len(pool)))]
+                    position = int(rng.integers(0, atom.arity))
+                    row[position] = donor[position]
+                row = tuple(row)
+            else:
+                row = tuple(
+                    int(rng.integers(0, domain_size)) for _ in atom.variables
+                )
+            pool.append(row)
+            stream.append(("insert", relation, row))
+        else:
+            row = pool.pop(int(rng.integers(0, len(pool))))
+            stream.append(("delete", relation, row))
+    return stream

@@ -467,18 +467,8 @@ class ColumnarRelation:
         """Multiplicity of ``row`` (0 if absent)."""
         row = tuple(row)
         self._check_row(row)
-        if not self._codes:
-            return int(self._mult[0]) if self._mult.size else 0
-        mask: Optional[np.ndarray] = None
-        for column, value in zip(self._codes, row):
-            code = self._vocab.lookup(value)
-            if code is None:
-                return 0
-            hit = column == code
-            mask = hit if mask is None else (mask & hit)
-        assert mask is not None
-        index = np.nonzero(mask)[0]
-        return int(self._mult[index[0]]) if index.size else 0
+        index = self._row_index(row)
+        return int(self._mult[index]) if index is not None else 0
 
     def is_empty(self) -> bool:
         """True iff the bag holds no tuples."""
@@ -556,42 +546,83 @@ class ColumnarRelation:
         return best_row, best_cnt
 
     # ----------------------------------------------------------- bag updates
+    def _row_index(self, row: Row) -> Optional[int]:
+        """Position of ``row`` among the distinct tuples, or ``None``."""
+        if not self._codes:
+            return 0 if self._mult.size else None
+        mask: Optional[np.ndarray] = None
+        for column, value in zip(self._codes, row):
+            code = self._vocab.lookup(value)
+            if code is None:
+                return None
+            hit = column == code
+            mask = hit if mask is None else (mask & hit)
+        assert mask is not None
+        index = np.nonzero(mask)[0]
+        return int(index[0]) if index.size else None
+
     def add(self, row: Sequence[object], multiplicity: int = 1) -> "ColumnarRelation":
-        """Return a copy with ``multiplicity`` extra occurrences of ``row``."""
+        """Return a copy with ``multiplicity`` extra occurrences of ``row``.
+
+        Array-level: an existing row bumps one slot of a copied count
+        vector (code columns are shared); a new row appends one slot —
+        no dict round-trip, no re-sort.
+        """
         if multiplicity < 0:
             raise SchemaError("use remove() to delete tuples")
-        if self.multiplicity(tuple(row)) + multiplicity > _INT64_MAX:
+        row = tuple(row)
+        self._check_row(row)
+        if multiplicity == 0:
+            return self
+        index = self._row_index(row)
+        current = int(self._mult[index]) if index is not None else 0
+        if current + multiplicity > _INT64_MAX:
             raise MultiplicityOverflowError(
                 "multiplicity exceeds int64 on the columnar backend; "
                 "use the python backend for counts this large"
             )
-        row = tuple(row)
-        self._check_row(row)
+        if index is not None:
+            mult = self._mult.copy()
+            mult[index] = current + multiplicity
+            return ColumnarRelation._from_parts(
+                self._schema, self._codes, mult, vocab=self._vocab
+            )
         codes = [
             np.append(column, self._vocab.encode(value))
             for column, value in zip(self._codes, row)
         ]
         mult = np.append(self._mult, np.int64(multiplicity))
         return ColumnarRelation._from_parts(
-            self._schema, codes, mult, deduped=False, vocab=self._vocab
+            self._schema, codes, mult, vocab=self._vocab
         )
 
     def remove(self, row: Sequence[object], multiplicity: int = 1) -> "ColumnarRelation":
         """Return a copy with up to ``multiplicity`` occurrences of ``row``
-        removed.  Removing an absent tuple is a no-op."""
+        removed.  Removing an absent tuple is a no-op.
+
+        Array-level, like :meth:`add`: decrement one slot of a copied
+        count vector, or mask the row out when its count hits zero.
+        """
         row = tuple(row)
         self._check_row(row)
-        current = self.multiplicity(row)
-        if current == 0:
+        index = self._row_index(row)
+        if index is None:
             return self
-        counts = dict(self.counts)
-        remaining = current - multiplicity
+        remaining = int(self._mult[index]) - multiplicity
         if remaining > 0:
-            counts[row] = remaining
-        else:
-            del counts[row]
-        rebuilt = ColumnarRelation(self._schema, counts)
-        return rebuilt
+            mult = self._mult.copy()
+            mult[index] = remaining
+            return ColumnarRelation._from_parts(
+                self._schema, self._codes, mult, vocab=self._vocab
+            )
+        keep = np.ones(self._mult.size, dtype=bool)
+        keep[index] = False
+        return ColumnarRelation._from_parts(
+            self._schema,
+            [column[keep] for column in self._codes],
+            self._mult[keep],
+            vocab=self._vocab,
+        )
 
     def filter(self, predicate) -> "ColumnarRelation":
         """Keep tuples satisfying ``predicate`` (a selection σ).

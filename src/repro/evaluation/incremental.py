@@ -9,18 +9,20 @@ FO+MOD queries under updates") observe that counting under single-tuple
 updates only needs *delta propagation* over a materialized structure.
 This module implements that idea on the repo's decomposition trees:
 
-**Base structure (built once).**  Bind the tree, compute every botjoin
-``K(v)`` (:func:`repro.evaluation.yannakakis.compute_botjoins`), and for
-every non-root node ``v`` with parent ``p`` cache the *sibling
-complement* ``J(v) = rel_p r̃join (r̃join of K(c) for siblings c of v)``
-— everything ``K(p)`` multiplies ``K(v)`` with.
+**Base structure (built once).**  Bind the tree and compute every botjoin
+``K(v)`` (:func:`repro.evaluation.yannakakis.compute_botjoins`).  The
+first *probe* additionally caches, for every non-root node ``v`` with
+parent ``p``, the *sibling complement* ``J(v) = rel_p r̃join (r̃join of
+K(c) for siblings c of v)`` — everything ``K(p)`` multiplies ``K(v)``
+with.  Probe state is lazy so count-only users (sessions maintaining
+``|Q(D)|`` under updates) never pay for it.
 
-**Probe (per update).**  ``|Q(D)|`` is multilinear in each relation's
-multiplicity vector, so changing the multiplicity of ``t ∈ R`` by ``±1``
-changes the count by exactly ``±w(t)`` where ``w(t)`` is the number of
-join results (with multiplicity) one occurrence of ``t`` participates in.
-``w(t)`` is obtained by pushing the one-tuple delta relation up the
-leaf-to-root path::
+**Probe (per hypothetical update).**  ``|Q(D)|`` is multilinear in each
+relation's multiplicity vector, so changing the multiplicity of ``t ∈ R``
+by ``±1`` changes the count by exactly ``±w(t)`` where ``w(t)`` is the
+number of join results (with multiplicity) one occurrence of ``t``
+participates in.  ``w(t)`` is obtained by pushing the one-tuple delta
+relation up the leaf-to-root path::
 
     ΔK(v)  = γ_{shared(v)} (Δrel_v r̃join ∏_c K(c))        (v's node)
     ΔK(p)  = γ_{shared(p)} (ΔK(v) r̃join J(v))              (each ancestor)
@@ -38,6 +40,17 @@ retain, keeping per-probe contributions separate.  On the columnar
 backend the batch pass runs entirely inside the vectorized join/group-by
 kernels — one numpy pass per tree edge for thousands of probes.
 
+**Applied updates (streams).**  Beyond hypothetical probes, the evaluator
+can *commit* updates: :meth:`IncrementalEvaluator.apply_insert` /
+:meth:`~IncrementalEvaluator.apply_delete` mutate the cached structure in
+place by recomputing only the botjoins on the touched leaf-to-root path —
+no re-decomposition, no re-binding of untouched relations, no visits to
+off-path subtrees.  Sibling complements and within-node complements that
+the update invalidates are merely *marked* stale and rebuilt lazily
+before the next probe, so a stream of updates interleaved with count
+reads never pays for probe state it does not use.  This is the engine
+behind :class:`repro.session.PreparedQuery`'s mutation methods.
+
 Deltas stay non-negative throughout (the update's sign factors out), so
 both relation backends can represent them; columnar ``int64`` overflow
 surfaces as :class:`~repro.exceptions.MultiplicityOverflowError`, exactly
@@ -46,11 +59,11 @@ as a full re-evaluation would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.database import Database
-from repro.engine.operators import group_by, join
+from repro.engine.operators import difference, group_by, join, join_all, union_all
 from repro.engine.relation import Row
 from repro.evaluation.yannakakis import (
     BoundTree,
@@ -73,17 +86,24 @@ class _Component:
     query: ConjunctiveQuery
     bound: BoundTree
     botjoins: Dict[str, object]
-    #: ``v -> rel_{parent(v)} r̃join (r̃join of K(c) for siblings c of v)``.
-    sibling_complement: Dict[str, object]
-    #: relation -> bag join of the *other* atoms in its node (GHD nodes).
-    node_others: Dict[str, Optional[object]]
     count: int
     #: product of the other components' counts (scales every delta).
     multiplier: int = 1
+    #: ``v -> rel_{parent(v)} r̃join (r̃join of K(c) for siblings c of v)``.
+    #: Built lazily on the first probe; see :meth:`_ensure_probe_state`.
+    sibling_complement: Dict[str, object] = field(default_factory=dict)
+    #: relation -> bag join of the *other* atoms in its node (GHD nodes).
+    node_others: Dict[str, Optional[object]] = field(default_factory=dict)
+    probe_ready: bool = False
+    #: parents whose children's complements an applied update invalidated.
+    stale_parents: Set[str] = field(default_factory=set)
+    #: multi-atom nodes whose ``node_others`` an applied update invalidated.
+    stale_other_nodes: Set[str] = field(default_factory=set)
 
 
 class IncrementalEvaluator:
-    """Answer single-tuple count-update probes from cached join-tree state.
+    """Answer count-update probes, and apply update streams, from cached
+    join-tree state.
 
     Parameters
     ----------
@@ -91,15 +111,20 @@ class IncrementalEvaluator:
         Full conjunctive query (any shape; disconnected queries are
         handled per component with cross-product multipliers).
     db:
-        The database instance the cache is built over.  Probes are
-        hypothetical: the evaluator never mutates ``db`` and successive
-        probes are independent.
+        The database instance the cache is built over.  ``delta`` probes
+        are hypothetical and leave the evaluator untouched;
+        ``apply_insert`` / ``apply_delete`` commit updates, after which
+        :attr:`db` reflects the mutated instance.
     tree:
         Decomposition override for connected queries (defaults to GYO /
         automatic GHD, like the rest of the evaluation stack).
     max_width:
         GHD node-size cap for the automatic decomposition of cyclic
         queries (ignored when ``tree`` is given).
+    component_pairs:
+        Advanced: pre-decomposed ``(subquery, tree)`` pairs, one per
+        connected component, as produced by the session layer's prepare
+        step.  Skips re-deriving the decomposition; overrides ``tree``.
 
     Examples
     --------
@@ -115,8 +140,10 @@ class IncrementalEvaluator:
     2
     >>> ev.delta("S", (2, 9))     # inserting (2,9) adds both R tuples
     2
+    >>> ev.apply_insert("S", (2, 9))
+    4
     >>> ev.delta_batch("R", [(1, 2), (5, 5)])
-    [1, 0]
+    [2, 0]
     """
 
     def __init__(
@@ -125,6 +152,9 @@ class IncrementalEvaluator:
         db: Database,
         tree: Optional[DecompositionTree] = None,
         max_width: int = 3,
+        component_pairs: Optional[
+            Sequence[Tuple[ConjunctiveQuery, DecompositionTree]]
+        ] = None,
     ):
         query.validate_against(db)
         if PROBE_ATTRIBUTE in query.variables:
@@ -136,12 +166,105 @@ class IncrementalEvaluator:
         self._db = db
         self._components: List[_Component] = []
         self._component_of: Dict[str, int] = {}
-        for sub, sub_tree in _component_trees(query, tree, max_width):
+        if component_pairs is None:
+            component_pairs = _component_trees(query, tree, max_width)
+        for sub, sub_tree in component_pairs:
             component = self._build_component(sub, sub_tree, db)
             index = len(self._components)
             self._components.append(component)
             for relation in sub.relation_names:
                 self._component_of[relation] = index
+        self._refresh_totals()
+
+    # -------------------------------------------------------------- building
+    @staticmethod
+    def _build_component(
+        sub: ConjunctiveQuery, sub_tree: DecompositionTree, db: Database
+    ) -> _Component:
+        bound = bind(sub, sub_tree, db)
+        botjoins = compute_botjoins(bound)
+        return _Component(
+            query=sub,
+            bound=bound,
+            botjoins=botjoins,
+            count=botjoins[bound.tree.root].total_count(),
+        )
+
+    @staticmethod
+    def _edge_complements(
+        component: _Component, parent: str
+    ) -> Dict[str, object]:
+        """Sibling complements for every child of ``parent``.
+
+        Prefix/suffix products keep this linear in the child count even
+        for high-degree nodes.
+        """
+        bound, botjoins = component.bound, component.botjoins
+        children = bound.tree.children(parent)
+        out: Dict[str, object] = {}
+        if not children:
+            return out
+        base = bound.relation(parent)
+        prefix = [base]
+        for child in children[:-1]:
+            prefix.append(join(prefix[-1], botjoins[child]))
+        suffix: List[Optional[object]] = [None] * len(children)
+        for i in range(len(children) - 2, -1, -1):
+            nxt = botjoins[children[i + 1]]
+            suffix[i] = nxt if suffix[i + 1] is None else join(nxt, suffix[i + 1])
+        for i, child in enumerate(children):
+            complement = prefix[i]
+            if suffix[i] is not None:
+                complement = join(complement, suffix[i])
+            out[child] = complement
+        return out
+
+    @staticmethod
+    def _node_other_complements(
+        component: _Component, node_id: str
+    ) -> Dict[str, Optional[object]]:
+        """Within-node complements for the relations of one (GHD) node."""
+        bound = component.bound
+        node = bound.tree.node(node_id)
+        out: Dict[str, Optional[object]] = {}
+        for relation in node.relations:
+            others = [r for r in node.relations if r != relation]
+            if not others:
+                out[relation] = None
+                continue
+            acc = bound.atom_relation(others[0])
+            for other in others[1:]:
+                acc = join(acc, bound.atom_relation(other))
+            out[relation] = acc
+        return out
+
+    def _ensure_probe_state(self, component: _Component) -> None:
+        """Build (or refresh the stale parts of) the probe-only caches."""
+        tree = component.bound.tree
+        if not component.probe_ready:
+            component.sibling_complement = {}
+            component.node_others = {}
+            for parent in tree.node_ids:
+                component.sibling_complement.update(
+                    self._edge_complements(component, parent)
+                )
+                component.node_others.update(
+                    self._node_other_complements(component, parent)
+                )
+            component.probe_ready = True
+        else:
+            for parent in sorted(component.stale_parents):
+                component.sibling_complement.update(
+                    self._edge_complements(component, parent)
+                )
+            for node_id in sorted(component.stale_other_nodes):
+                component.node_others.update(
+                    self._node_other_complements(component, node_id)
+                )
+        component.stale_parents.clear()
+        component.stale_other_nodes.clear()
+
+    def _refresh_totals(self) -> None:
         total = 1
         for component in self._components:
             total *= component.count
@@ -153,55 +276,6 @@ class IncrementalEvaluator:
                     multiplier *= other.count
             component.multiplier = multiplier
 
-    # -------------------------------------------------------------- building
-    @staticmethod
-    def _build_component(
-        sub: ConjunctiveQuery, sub_tree: DecompositionTree, db: Database
-    ) -> _Component:
-        bound = bind(sub, sub_tree, db)
-        botjoins = compute_botjoins(bound)
-        tree = bound.tree
-        # Sibling complements, one per tree edge.  Prefix/suffix products
-        # keep this linear in the child count even for high-degree nodes.
-        sibling_complement: Dict[str, object] = {}
-        for parent in tree.node_ids:
-            children = tree.children(parent)
-            if not children:
-                continue
-            base = bound.relation(parent)
-            prefix = [base]
-            for child in children[:-1]:
-                prefix.append(join(prefix[-1], botjoins[child]))
-            suffix: List[Optional[object]] = [None] * len(children)
-            for i in range(len(children) - 2, -1, -1):
-                nxt = botjoins[children[i + 1]]
-                suffix[i] = nxt if suffix[i + 1] is None else join(nxt, suffix[i + 1])
-            for i, child in enumerate(children):
-                complement = prefix[i]
-                if suffix[i] is not None:
-                    complement = join(complement, suffix[i])
-                sibling_complement[child] = complement
-        # Within-node complements for GHD nodes holding several atoms.
-        node_others: Dict[str, Optional[object]] = {}
-        for relation in sub.relation_names:
-            node = tree.node(tree.node_of_relation(relation))
-            others = [r for r in node.relations if r != relation]
-            if not others:
-                node_others[relation] = None
-                continue
-            acc = bound.atom_relation(others[0])
-            for other in others[1:]:
-                acc = join(acc, bound.atom_relation(other))
-            node_others[relation] = acc
-        return _Component(
-            query=sub,
-            bound=bound,
-            botjoins=botjoins,
-            sibling_complement=sibling_complement,
-            node_others=node_others,
-            count=botjoins[tree.root].total_count(),
-        )
-
     # ------------------------------------------------------------- accessors
     @property
     def query(self) -> ConjunctiveQuery:
@@ -209,11 +283,13 @@ class IncrementalEvaluator:
 
     @property
     def db(self) -> Database:
+        """The database the cached state currently reflects (tracks
+        applied updates)."""
         return self._db
 
     @property
     def base_count(self) -> int:
-        """``|Q(D)|`` on the unmodified database (cached)."""
+        """``|Q(D)|`` on the current (post-update) database (cached)."""
         return self._base_count
 
     # ----------------------------------------------------------------- probes
@@ -244,7 +320,10 @@ class IncrementalEvaluator:
             return []
         component = self._components[self._component_of[relation]]
         if component.multiplier == 0:
+            # Arity checks must still run for a consistent error surface.
+            self._check_probe_arity(component, relation, rows)
             return [0] * len(rows)
+        self._ensure_probe_state(component)
         probe = self._probe_relation(component, relation, rows)
         collapsed = self._propagate(component, relation, probe)
         per_probe = {key[0]: cnt for key, cnt in collapsed.items()}
@@ -267,11 +346,141 @@ class IncrementalEvaluator:
             return self._base_count
         return self._base_count - self.delta(relation, row)
 
+    # -------------------------------------------------------- applied updates
+    def apply_insert(self, relation: str, row: Sequence[object]) -> int:
+        """Commit ``D ← D ∪ {t}`` and return the maintained ``|Q(D)|``.
+
+        Only the botjoins on the path from ``relation``'s node to its
+        component root are recomputed; probe-only caches the update
+        invalidates are marked stale and refreshed on the next probe.
+        """
+        return self._apply(relation, tuple(row), insert=True)
+
+    def apply_delete(self, relation: str, row: Sequence[object]) -> int:
+        """Commit ``D ← D \\ {t}`` and return the maintained ``|Q(D)|``.
+
+        Deleting an absent tuple is a no-op, matching ``D \\ {t}``.
+        """
+        row = tuple(row)
+        if relation not in self._component_of:
+            raise UnknownRelationError(relation)
+        if self._db.relation(relation).multiplicity(row) == 0:
+            component = self._components[self._component_of[relation]]
+            self._check_probe_arity(component, relation, [row])
+            return self._base_count
+        return self._apply(relation, row, insert=False)
+
+    def _apply(self, relation: str, row: Row, insert: bool) -> int:
+        if relation not in self._component_of:
+            raise UnknownRelationError(relation)
+        component = self._components[self._component_of[relation]]
+        self._check_probe_arity(component, relation, [row])
+        base = self._db.relation(relation)
+        # Staged, then committed: every fallible step (including columnar
+        # int64 overflow anywhere on the delta path) runs before the first
+        # cache mutation, so a raising update leaves the evaluator exactly
+        # as it was.
+        new_db = self._db.with_relation(
+            relation, base.add(row) if insert else base.remove(row)
+        )
+        self._refresh_path(component, relation, row, insert)
+        self._db = new_db
+        self._refresh_totals()
+        return self._base_count
+
+    def _refresh_path(
+        self, component: _Component, relation: str, row: Row, insert: bool
+    ) -> None:
+        """Fold one committed update into the cached structure.
+
+        ``|Q(D)|`` and every botjoin are linear in each relation's
+        multiplicity vector, so the one-tuple update contributes a small
+        *signed delta* to each botjoin on the node-to-root path: exactly
+        the probe propagation, folded into the caches with bag union /
+        monus (monus is exact here — a delete's delta never exceeds the
+        tuple's own prior contribution).  Off-path subtrees are never
+        visited; sibling complements hanging off the path and within-node
+        complements of the touched node are only *marked* stale.
+
+        All delta math reads pre-update state only (the ancestor formula
+        never consults the path child's own botjoin), so the whole walk
+        is *staged* first and committed in one non-fallible sweep at the
+        end — an exception anywhere (columnar overflow, say) leaves the
+        caches untouched for :meth:`_apply` to report cleanly.
+        """
+        bound = component.bound
+        tree = bound.tree
+        atom = component.query.atom(relation)
+        predicate = component.query.selections.get(relation)
+        if predicate is not None:
+            if not predicate(dict(zip(atom.variables, row))):
+                return  # filtered out before the join: no cached state moves
+        bound_atom = bound.atom_relations[relation]
+        new_atom = bound_atom.add(row) if insert else bound_atom.remove(row)
+        node_id = tree.node_of_relation(relation)
+        node = tree.node(node_id)
+        # The node-level delta joins the one-row update with everything
+        # else the node's botjoin multiplies it with.  For deletes this
+        # uses the *pre-update* sibling state, which is exactly the
+        # removed tuple's contribution.
+        delta = type(bound_atom)(list(atom.variables), {row: 1})
+        if len(node.relations) == 1:
+            new_node_relation = new_atom
+        else:
+            for other in node.relations:
+                if other != relation:
+                    delta = join(delta, bound.atom_relations[other])
+            new_node_relation = join_all(
+                [
+                    new_atom if rel == relation else bound.atom_relations[rel]
+                    for rel in node.relations
+                ]
+            )
+        staged_botjoins: Dict[str, object] = {}
+        previous: Optional[str] = None
+        current: Optional[str] = node_id
+        while current is not None:
+            if previous is None:
+                for child in tree.children(current):
+                    delta = join(delta, component.botjoins[child])
+            else:
+                delta = join(delta, bound.relation(current))
+                for child in tree.children(current):
+                    if child != previous:
+                        delta = join(delta, component.botjoins[child])
+            delta = group_by(delta, sorted(tree.shared_with_parent(current)))
+            if delta.is_empty():
+                break  # joins nothing from here up: no botjoin changes
+            staged_botjoins[current] = (
+                union_all([component.botjoins[current], delta])
+                if insert
+                else difference(component.botjoins[current], delta)
+            )
+            previous, current = current, tree.parent(current)
+        # ----- commit (dict/set assignments only; nothing below raises)
+        bound.atom_relations[relation] = new_atom
+        bound.node_relations[node_id] = new_node_relation
+        if len(node.relations) > 1:
+            component.stale_other_nodes.add(node_id)
+        if tree.children(node_id):
+            # rel_node changed: every child-edge complement under the node
+            # embeds it, whether or not the botjoin delta survives below.
+            component.stale_parents.add(node_id)
+        for changed, botjoin in staged_botjoins.items():
+            component.botjoins[changed] = botjoin
+            parent = tree.parent(changed)
+            if parent is not None:
+                # changed's botjoin moved: its siblings' complements (and
+                # the parent's other child edges) are stale; changed's own
+                # complement does not involve it.
+                component.stale_parents.add(parent)
+        component.count = component.botjoins[tree.root].total_count()
+
     # ----------------------------------------------------------- propagation
-    def _probe_relation(
-        self, component: _Component, relation: str, rows: Sequence[Row]
-    ):
-        """The tagged delta relation: one row per probe, selection applied."""
+    @staticmethod
+    def _check_probe_arity(
+        component: _Component, relation: str, rows: Sequence[Row]
+    ) -> None:
         atom = component.query.atom(relation)
         for row in rows:
             if len(row) != atom.arity:
@@ -279,6 +488,13 @@ class IncrementalEvaluator:
                     f"probe {row!r} has arity {len(row)}, atom {atom} "
                     f"expects {atom.arity}"
                 )
+
+    def _probe_relation(
+        self, component: _Component, relation: str, rows: Sequence[Row]
+    ):
+        """The tagged delta relation: one row per probe, selection applied."""
+        self._check_probe_arity(component, relation, rows)
+        atom = component.query.atom(relation)
         attributes = list(atom.variables) + [PROBE_ATTRIBUTE]
         relation_cls = type(self._db.relation(relation))
         counts = {row + (index,): 1 for index, row in enumerate(rows)}

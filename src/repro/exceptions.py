@@ -75,3 +75,10 @@ class MultiplicityOverflowError(ReproError):
 
 class MechanismConfigError(ReproError):
     """A DP mechanism received inconsistent configuration parameters."""
+
+
+class SessionError(ReproError):
+    """A prepared-query session was driven with an invalid request.
+
+    Examples: an update-stream element whose op is neither ``"insert"``
+    nor ``"delete"``."""

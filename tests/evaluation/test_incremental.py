@@ -179,6 +179,28 @@ class TestOverflowPropagation:
         with pytest.raises(MultiplicityOverflowError):
             evaluator.delta("R", ("x",))
 
+    def test_failed_apply_commits_nothing(self):
+        # An applied update that overflows int64 mid-propagation must not
+        # leave the evaluator half-mutated: the db snapshot, the cached
+        # count and every later update stay coherent.
+        query = parse_query("Q(A) :- R(A), S(A)")
+        big = 4 * 10**18
+        db = Database(
+            {
+                "R": ColumnarRelation(["A"], {("x",): big}),
+                "S": ColumnarRelation(["A"], {("x",): 2}),
+            }
+        )
+        evaluator = IncrementalEvaluator(query, db)
+        assert evaluator.base_count == 2 * big
+        with pytest.raises(MultiplicityOverflowError):
+            evaluator.apply_insert("S", ("x",))
+        assert evaluator.db.relation("S").multiplicity(("x",)) == 2
+        assert evaluator.base_count == 2 * big
+        # The evaluator is still fully usable after the failed commit.
+        assert evaluator.apply_delete("S", ("x",)) == big
+        assert evaluator.base_count == count_query(query, evaluator.db)
+
     def test_python_backend_is_arbitrary_precision(self):
         query = parse_query("Q(A) :- R(A), S1(A), S2(A)")
         huge = 2**62
