@@ -1,0 +1,139 @@
+"""Ablation — maintained sensitivity under updates vs recompute-per-update.
+
+PR 4's session bench pinned that maintained *counts* beat
+rebuild-per-update; this one pins the same claim for the full TSens
+pipeline.  Once a session's join-state (botjoins, topjoins, multiplicity
+tables, witnesses) is materialised, each committed update folds a small
+delta into every level and a `sensitivity()` read refreshes from the
+maintained structures — while the historical pattern re-plans, re-binds
+and recomputes botjoins, topjoins, every table and every witness from
+scratch after each change.
+
+Same broom-shaped workload as ``bench_session_updates`` (a star around a
+hub plus a two-hop handle — deliberately *not* a path query, so
+``sensitivity()`` resolves to TSens).  Both sides share one explicit
+join tree, so the measured gap excludes the rebuild's decomposition
+cost; the assertion is conservative.
+
+The bench asserts exact agreement after every update (local sensitivity
+and all per-relation witness sensitivities) and a ≥5× speedup for the
+maintained session, on both backends.
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets import random_update_stream
+from repro.engine import Database, Relation
+from repro.query import parse_query
+from repro.query.jointree import join_tree_from_parents
+from repro.session import prepare
+
+UPDATES = 20
+#: Per-backend relation sizes: large enough that one full TSens rebuild
+#: clearly dominates one maintained fold+read, small enough for CI.  The
+#: columnar engine needs bigger tables: its maintained cost is mostly
+#: fixed per-kernel overhead, so the gap widens with scale.
+ROWS = {"python": 2000, "columnar": 60000}
+DOMAIN = 400
+SEED = 11
+
+QUERY = parse_query(
+    "Q(A,B,C,D,E,F,G) :- Hub(A,B), S1(A,C), S2(A,D), S3(A,E), T1(B,F), T2(F,G)"
+)
+TREE = join_tree_from_parents(
+    QUERY,
+    "Hub",
+    {"S1": "Hub", "S2": "Hub", "S3": "Hub", "T1": "Hub", "T2": "T1"},
+)
+
+
+def _broom_database(backend: str, rng: np.random.Generator) -> Database:
+    n_rows = ROWS[backend]
+
+    def table(attrs):
+        rows = rng.integers(0, DOMAIN, size=(n_rows, len(attrs)))
+        return Relation(attrs, [tuple(int(v) for v in row) for row in rows])
+
+    return Database(
+        {
+            "Hub": table(["A", "B"]),
+            "S1": table(["A", "C"]),
+            "S2": table(["A", "D"]),
+            "S3": table(["A", "E"]),
+            "T1": table(["B", "F"]),
+            "T2": table(["F", "G"]),
+        },
+        backend=backend,
+    )
+
+
+def _snapshot(result):
+    """The per-update agreement fingerprint: LS plus every witness δ."""
+    return (
+        result.local_sensitivity,
+        tuple(
+            (relation, witness.sensitivity)
+            for relation, witness in sorted(result.per_relation.items())
+        ),
+    )
+
+
+def rebuild_per_update_sensitivity(query, db, stream, tree):
+    """The recompute-from-scratch strawman: a fresh plan + full TSens
+    (bind, botjoins, topjoins, all tables, all witnesses) per update."""
+    snapshots = []
+    current = db
+    for op, relation, row in stream:
+        current = (
+            current.add_tuple(relation, row)
+            if op == "insert"
+            else current.remove_tuple(relation, row)
+        )
+        snapshots.append(
+            _snapshot(prepare(query, current, tree=tree).sensitivity())
+        )
+    return snapshots
+
+
+def test_maintained_sensitivity_vs_recompute(benchmark, backend):
+    rng = np.random.default_rng(SEED)
+    db = _broom_database(backend, rng)
+    stream = random_update_stream(QUERY, db, rng, UPDATES)
+
+    # The maintained session exists up front (the session API's whole
+    # point); the timed region is the update stream itself — fold the
+    # delta, then read sensitivity off the maintained state.
+    session = prepare(QUERY, db, tree=TREE)
+    session.sensitivity()  # materialise topjoins/tables/witnesses
+
+    def maintained_stream():
+        snapshots = []
+        for op, relation, row in stream:
+            if op == "insert":
+                session.insert(relation, row)
+            else:
+                session.delete(relation, row)
+            snapshots.append(_snapshot(session.sensitivity()))
+        return snapshots
+
+    maintained = benchmark.pedantic(maintained_stream, rounds=1, iterations=1)
+    maintained_seconds = benchmark.stats.stats.min
+
+    start = time.perf_counter()
+    rebuilt = rebuild_per_update_sensitivity(QUERY, db, stream, TREE)
+    rebuild_seconds = time.perf_counter() - start
+
+    # Exact agreement after every single update, not just at the end.
+    assert maintained == rebuilt
+
+    speedup = rebuild_seconds / max(maintained_seconds, 1e-9)
+    benchmark.extra_info["updates"] = UPDATES
+    benchmark.extra_info["maintained_seconds"] = maintained_seconds
+    benchmark.extra_info["rebuild_seconds"] = rebuild_seconds
+    benchmark.extra_info["rebuild_vs_maintained_speedup"] = speedup
+
+    # The acceptance bar: maintained sensitivity-after-update beats
+    # recompute-per-update by at least 5x on both backends.
+    assert speedup >= 5.0

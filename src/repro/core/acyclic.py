@@ -21,78 +21,37 @@ output tuples.
 The local sensitivity is the max entry over all multiplicity tables
 (Theorem 5.1); the argmax row, extended with extrapolated values for
 exclusive attributes, is the most sensitive tuple.
+
+All of this state — bound tree, botjoins, topjoins, tables — lives in a
+:class:`~repro.evaluation.joinstate.JoinState`.  One-shot callers build a
+throwaway instance per call (this module's public signatures are
+unchanged); sessions pass their *maintained* instance, whose structures
+were folded under committed updates instead of rebuilt, and additionally
+reuse cached per-relation witnesses for tables no update has touched.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.engine.database import Database
-from repro.engine.operators import group_by, join, join_all
 from repro.engine.relation import Relation
-from repro.engine.schema import Schema
-from repro.evaluation.yannakakis import BoundTree, bind, compute_botjoins
+from repro.evaluation.joinstate import JoinState, build_table, table_layout
+from repro.evaluation.yannakakis import BoundTree, compute_topjoins
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.gyo import gyo_join_tree
 from repro.query.jointree import DecompositionTree
 from repro.core.result import MultiplicityTable, SensitiveTuple, SensitivityResult
 from repro.exceptions import QueryStructureError
 
-
-def compute_topjoins(
-    bound: BoundTree, botjoins: Dict[str, Relation]
-) -> Dict[str, Optional[Relation]]:
-    """Topjoins ``J(v)`` for every node, in pre-order (paper Eqn. 8).
-
-    ``J(root)`` is ``None`` (the complement of the whole tree is empty).
-    For a node whose parent is the root the topjoin omits ``J(parent)``;
-    otherwise ``J(v) = γ_{A_v ∩ A_p} r̃join(rel_p, J(p), {K(s) | s ∈ N(v)})``.
-    """
-    tree = bound.tree
-    topjoins: Dict[str, Optional[Relation]] = {tree.root: None}
-    for node_id in tree.pre_order():
-        if node_id == tree.root:
-            continue
-        parent = tree.parent(node_id)
-        assert parent is not None
-        parts: List[Relation] = [bound.relation(parent)]
-        parent_top = topjoins[parent]
-        if parent_top is not None:
-            parts.append(parent_top)
-        for sibling in tree.neighbours(node_id):
-            parts.append(botjoins[sibling])
-        joined = join_all(parts)
-        group_attrs = sorted(tree.shared_with_parent(node_id))
-        topjoins[node_id] = group_by(joined, group_attrs)
-    return topjoins
-
-
-def _effective_attributes(query: ConjunctiveQuery, relation: str) -> Tuple[str, ...]:
-    """Attributes of ``relation`` shared with at least one other atom."""
-    atom = query.atom(relation)
-    exclusive = set(query.exclusive_variables(relation))
-    return tuple(v for v in atom.variables if v not in exclusive)
-
-
-def _connected_components(parts: List[Relation]) -> List[List[Relation]]:
-    """Group relations into components connected by shared attributes."""
-    remaining = list(parts)
-    components: List[List[Relation]] = []
-    while remaining:
-        seed = remaining.pop(0)
-        group = [seed]
-        attrs = set(seed.attributes)
-        changed = True
-        while changed:
-            changed = False
-            for other in list(remaining):
-                if attrs & set(other.attributes):
-                    group.append(other)
-                    attrs |= set(other.attributes)
-                    remaining.remove(other)
-                    changed = True
-        components.append(group)
-    return components
+__all__ = [
+    "best_witness",
+    "compute_topjoins",
+    "extrapolate_assignment",
+    "multiplicity_table",
+    "select_overall_witness",
+    "tsens_connected",
+]
 
 
 def multiplicity_table(
@@ -115,39 +74,24 @@ def multiplicity_table(
     :class:`~repro.core.result.MultiplicityTable` (the same representation
     Algorithm 1 uses for path queries), so doubly acyclic queries never pay
     the cross product.
-    """
-    tree = bound.tree
-    query = bound.query
-    node_id = tree.node_of_relation(relation)
-    parts: List[Relation] = []
-    top = topjoins[node_id]
-    if top is not None:
-        parts.append(top)
-    for child in tree.children(node_id):
-        parts.append(botjoins[child])
-    for other in tree.node(node_id).relations:
-        if other != relation:
-            parts.append(bound.atom_relation(other))
-    effective = _effective_attributes(query, relation)
-    if not parts:
-        # Single-relation query: Q(D) = R, every tuple has sensitivity 1.
-        table = Relation(Schema(effective), {(): 1} if not effective else {})
-        return MultiplicityTable(relation, (table,))
 
-    factors: List[Relation] = []
-    covered: List[str] = []
-    for component in _connected_components(parts):
-        joined = join_all(component)
-        component_effective = tuple(a for a in effective if a in joined.schema)
-        factors.append(group_by(joined, component_effective))
-        covered.extend(component_effective)
-    missing = [a for a in effective if a not in covered]
-    if missing:
-        raise QueryStructureError(
-            f"multiplicity table for {relation!r} is missing attributes "
-            f"{missing}; the decomposition does not cover the query"
-        )
-    return MultiplicityTable(relation, tuple(factors))
+    This explicit-dicts form exists for callers that substitute their own
+    botjoins/topjoins (the top-k clamping approximation); everyone else
+    reads tables straight off a :class:`JoinState`, which shares the same
+    symbolic layout so maintained and freshly built tables are identical.
+    """
+    layout = table_layout(bound.query, bound.tree, relation)
+
+    def part_value(part):
+        if part.kind == "top":
+            top = topjoins[part.key]
+            assert top is not None
+            return top
+        if part.kind == "bot":
+            return botjoins[part.key]
+        return bound.atom_relation(part.key)
+
+    return build_table(layout, part_value)
 
 
 def best_witness(
@@ -204,11 +148,28 @@ def extrapolate_assignment(
     return assignment
 
 
+def select_overall_witness(
+    per_relation: Dict[str, SensitiveTuple],
+) -> Tuple[int, Optional[SensitiveTuple]]:
+    """``LS(Q, D)`` and one witness from the per-relation maxima.
+
+    Ties prefer a witness with a concrete assignment, then relation order
+    — the deterministic rule every TSens variant shares.
+    """
+    local = max((w.sensitivity for w in per_relation.values()), default=0)
+    if local <= 0:
+        return local, None
+    candidates = [w for w in per_relation.values() if w.sensitivity == local]
+    with_assignment = [w for w in candidates if w.assignment]
+    return local, (with_assignment or candidates)[0]
+
+
 def tsens_connected(
     query: ConjunctiveQuery,
     db: Database,
     tree: Optional[DecompositionTree] = None,
     skip_relations: Iterable[str] = (),
+    state: Optional[JoinState] = None,
 ) -> SensitivityResult:
     """TSens over a connected query.
 
@@ -220,27 +181,34 @@ def tsens_connected(
         Database instance.
     tree:
         Join tree / GHD covering the query.  Defaults to the GYO join tree
-        (the query must then be acyclic).
+        (the query must then be acyclic).  Ignored when ``state`` is given.
     skip_relations:
         Relations whose multiplicity table is not computed; the paper skips
         relations whose attributes form a superkey of the join output
         (tuple sensitivity ≤ 1, e.g. LINEITEM in q3) to avoid a huge table.
         Skipped relations get sensitivity bound 1 with no witness table.
+    state:
+        A maintained :class:`JoinState` bound to ``db`` (the session
+        layer's, kept consistent under committed updates).  When absent a
+        throwaway state is built, which is exactly the historical one-shot
+        computation.
     """
     if not query.is_connected():
         raise QueryStructureError(
             "tsens_connected needs a connected query; use local_sensitivity()"
         )
-    if tree is None:
-        tree = gyo_join_tree(query)
+    if state is None:
+        if tree is None:
+            tree = gyo_join_tree(query)
+    else:
+        tree = state.tree
     if not tree.covers_query(query):
         raise QueryStructureError(
             f"decomposition does not cover query {query.name}"
         )
+    if state is None:
+        state = JoinState(query, tree, db)
     skip = set(skip_relations)
-    bound = bind(query, tree, db)
-    botjoins = compute_botjoins(bound)
-    topjoins = compute_topjoins(bound, botjoins)
 
     tables: Dict[str, MultiplicityTable] = {}
     per_relation: Dict[str, SensitiveTuple] = {}
@@ -251,16 +219,15 @@ def tsens_connected(
             # LINEITEM in the paper's q3); record the bound, no table.
             per_relation[relation] = SensitiveTuple(relation, {}, 1)
             continue
-        table = multiplicity_table(bound, botjoins, topjoins, relation)
+        table = state.multiplicity_table(relation)
         tables[relation] = table
-        per_relation[relation] = best_witness(table, query, db, relation)
+        witness = state.witnesses.get(relation)
+        if witness is None:
+            witness = best_witness(table, query, db, relation)
+            state.witnesses[relation] = witness
+        per_relation[relation] = witness  # type: ignore[assignment]
 
-    local = max((w.sensitivity for w in per_relation.values()), default=0)
-    witness: Optional[SensitiveTuple] = None
-    if local > 0:
-        candidates = [w for w in per_relation.values() if w.sensitivity == local]
-        with_assignment = [w for w in candidates if w.assignment]
-        witness = (with_assignment or candidates)[0]
+    local, witness = select_overall_witness(per_relation)
     return SensitivityResult(
         query_name=query.name,
         method="tsens",

@@ -17,15 +17,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.engine.database import Database
-from repro.evaluation.yannakakis import bind, compute_botjoins
+from repro.evaluation.joinstate import JoinState
 from repro.query.classify import classify
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.ghd import auto_decompose
 from repro.query.jointree import DecompositionTree
-from repro.core.acyclic import compute_topjoins, multiplicity_table
 from repro.exceptions import QueryStructureError
 
 
@@ -106,16 +105,29 @@ def explain(
     db: Database,
     tree: Optional[DecompositionTree] = None,
     skip_relations: Tuple[str, ...] = (),
+    state: Optional[JoinState] = None,
 ) -> Explanation:
-    """Run TSens once, recording the cost profile (connected queries)."""
+    """Run TSens once, recording the cost profile (connected queries).
+
+    ``state`` lets session callers profile their *maintained*
+    :class:`JoinState` — sizes reflect the folded structures without
+    recomputing botjoins/topjoins/tables the session already holds; the
+    recorded ``seconds`` then measure only the (cheap) profiling walk.
+    One-shot calls build a throwaway state, which is the historical
+    full computation.
+    """
     if not query.is_connected():
         raise QueryStructureError("explain() covers connected queries")
-    if tree is None:
-        tree = auto_decompose(query)
     start = time.perf_counter()
-    bound = bind(query, tree, db)
-    botjoins = compute_botjoins(bound)
-    topjoins = compute_topjoins(bound, botjoins)
+    if state is None:
+        if tree is None:
+            tree = auto_decompose(query)
+        state = JoinState(query, tree, db)
+    else:
+        tree = state.tree
+    bound = state.bound
+    botjoins = state.botjoins
+    topjoins = state.topjoins()
 
     nodes = []
     for node_id in tree.pre_order():
@@ -137,7 +149,7 @@ def explain(
     for relation in query.relation_names:
         if relation in skip_relations:
             continue
-        table = multiplicity_table(bound, botjoins, topjoins, relation)
+        table = state.multiplicity_table(relation)
         sizes = tuple(f.distinct_count() for f in table.factors)
         dense = 1
         for size in sizes:

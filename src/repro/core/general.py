@@ -11,18 +11,26 @@ Two Sec. 5.4 extensions on top of :func:`repro.core.acyclic.tsens_connected`:
   hypertree decomposition groups atoms into nodes (Fig. 5's hypertrees for
   q3, q△, q◦); :func:`repro.query.ghd.auto_decompose` finds one
   automatically when none is supplied.
+
+Both paths run over per-component
+:class:`~repro.evaluation.joinstate.JoinState` objects.
+:func:`tsens` builds throwaway states (the historical one-shot
+behaviour); :func:`tsens_from_states` accepts *maintained* states — the
+session layer's, folded under committed updates — so a sensitivity read
+after an update reuses every untouched botjoin, topjoin, table factor
+and witness instead of recomputing the pipeline.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.database import Database
-from repro.evaluation.yannakakis import count_bound, bind
+from repro.evaluation.joinstate import JoinState
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.ghd import auto_decompose
 from repro.query.jointree import DecompositionTree
-from repro.core.acyclic import tsens_connected
+from repro.core.acyclic import select_overall_witness, tsens_connected
 from repro.core.result import SensitiveTuple, SensitivityResult
 
 
@@ -60,9 +68,7 @@ def tsens(
             tree = auto_decompose(query, max_width=max_width)
         return tsens_connected(query, db, tree=tree, skip_relations=skip_relations)
 
-    skip = set(skip_relations)
-    sub_results = []
-    sub_counts = []
+    states: List[JoinState] = []
     for index, component in enumerate(components):
         sub = query.subquery(component, name=f"{query.name}#c{index}")
         key = component[0].relation
@@ -71,18 +77,52 @@ def tsens(
             sub_tree = component_trees[key]
         if sub_tree is None:
             sub_tree = auto_decompose(sub, max_width=max_width)
-        sub_skip = skip & set(sub.relation_names)
-        sub_results.append(tsens_connected(sub, db, tree=sub_tree, skip_relations=sub_skip))
-        sub_counts.append(count_bound(bind(sub, sub_tree, db)))
+        states.append(JoinState(sub, sub_tree, db))
+    return tsens_from_states(query, db, states, skip_relations=skip_relations)
 
-    # Combine: sensitivities in component i scale by ∏_{j≠i} |Q_j(D)|.
-    total_product = 1
-    for count in sub_counts:
-        total_product *= count
+
+def tsens_from_states(
+    query: ConjunctiveQuery,
+    db: Database,
+    states: Sequence[JoinState],
+    skip_relations: Iterable[str] = (),
+) -> SensitivityResult:
+    """TSens over prebuilt (usually *maintained*) per-component states.
+
+    ``states`` holds one :class:`JoinState` per connected component of
+    ``query``, in component order, each bound to ``db`` — exactly what
+    :attr:`repro.evaluation.incremental.IncrementalEvaluator.component_states`
+    provides.  Component counts come off the maintained root botjoins, so
+    the cross-component multipliers cost nothing extra.
+    """
+    skip = set(skip_relations)
+    if len(states) == 1:
+        return tsens_connected(
+            query, db, skip_relations=skip & set(query.relation_names),
+            state=states[0],
+        )
+    sub_results: List[SensitivityResult] = []
+    sub_counts: List[int] = []
+    for state in states:
+        sub = state.query
+        sub_skip = skip & set(sub.relation_names)
+        sub_results.append(
+            tsens_connected(sub, db, skip_relations=sub_skip, state=state)
+        )
+        sub_counts.append(state.count)
+    return _combine_component_results(query, sub_results, sub_counts)
+
+
+def _combine_component_results(
+    query: ConjunctiveQuery,
+    sub_results: Sequence[SensitivityResult],
+    sub_counts: Sequence[int],
+) -> SensitivityResult:
+    """Combine per-component results: sensitivities in component ``i``
+    scale by ``∏_{j≠i} |Q_j(D)|`` (the cross-product argument)."""
     per_relation: Dict[str, SensitiveTuple] = {}
     tables = {}
     for index, result in enumerate(sub_results):
-        own = sub_counts[index]
         multiplier = 1
         for j, count in enumerate(sub_counts):
             if j != index:
@@ -94,12 +134,7 @@ def tsens(
                 relation, witness.assignment, witness.sensitivity * multiplier
             )
 
-    local = max((w.sensitivity for w in per_relation.values()), default=0)
-    witness: Optional[SensitiveTuple] = None
-    if local > 0:
-        candidates = [w for w in per_relation.values() if w.sensitivity == local]
-        with_assignment = [w for w in candidates if w.assignment]
-        witness = (with_assignment or candidates)[0]
+    local, witness = select_overall_witness(per_relation)
     return SensitivityResult(
         query_name=query.name,
         method="tsens",

@@ -23,11 +23,16 @@ from repro.engine.columnar import ColumnarRelation, clamp_counts_to_top_k
 from repro.engine.database import Database
 from repro.engine.operators import group_by, join_all
 from repro.engine.relation import Relation
+from repro.evaluation.joinstate import JoinState
 from repro.evaluation.yannakakis import bind
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.gyo import gyo_join_tree
 from repro.query.jointree import DecompositionTree
-from repro.core.acyclic import best_witness, multiplicity_table
+from repro.core.acyclic import (
+    best_witness,
+    multiplicity_table,
+    select_overall_witness,
+)
 from repro.core.result import SensitiveTuple, SensitivityResult
 from repro.exceptions import MechanismConfigError, QueryStructureError
 
@@ -61,6 +66,7 @@ def tsens_topk(
     k: int,
     tree: Optional[DecompositionTree] = None,
     skip_relations: Iterable[str] = (),
+    state: Optional[JoinState] = None,
 ) -> SensitivityResult:
     """Upper-bound TSens with per-pass top-k clamping (connected queries).
 
@@ -69,12 +75,23 @@ def tsens_topk(
     The returned local sensitivity satisfies
     ``LS(Q, D) <= result.local_sensitivity`` (tested property), with
     equality for ``k`` at least the number of distinct boundary values.
+
+    ``state`` (a maintained :class:`JoinState` on ``tree`` over ``db``)
+    supplies the bound tree so sessions skip re-binding after updates.
+    Clamping is *not* linear, so the clamped botjoin/topjoin passes cannot
+    be folded incrementally — they rerun per call over the maintained
+    node relations, with clamping applied at every level exactly as the
+    one-shot computation does.
     """
     if not query.is_connected():
         raise QueryStructureError("tsens_topk needs a connected query")
-    if tree is None:
-        tree = gyo_join_tree(query)
-    bound = bind(query, tree, db)
+    if state is not None:
+        bound = state.bound
+        tree = state.tree
+    else:
+        if tree is None:
+            tree = gyo_join_tree(query)
+        bound = bind(query, tree, db)
 
     # Botjoins with clamping (post-order).
     botjoins: Dict[str, Relation] = {}
@@ -112,12 +129,7 @@ def tsens_topk(
         tables[relation] = table
         per_relation[relation] = best_witness(table, query, db, relation)
 
-    local = max((w.sensitivity for w in per_relation.values()), default=0)
-    witness: Optional[SensitiveTuple] = None
-    if local > 0:
-        candidates = [w for w in per_relation.values() if w.sensitivity == local]
-        with_assignment = [w for w in candidates if w.assignment]
-        witness = (with_assignment or candidates)[0]
+    local, witness = select_overall_witness(per_relation)
     return SensitivityResult(
         query_name=query.name,
         method=f"tsens-top{k}",

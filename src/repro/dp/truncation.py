@@ -100,6 +100,10 @@ class TruncationOracle:
         A precomputed TSens result (must include the primary's table).
     skip_relations:
         Passed through to TSens when it must be computed here.
+    base_count:
+        ``|Q(D)|`` when the caller already holds it — the session layer
+        passes its maintained count so building an oracle after updates
+        skips the full re-evaluation; defaults to counting here.
     """
 
     def __init__(
@@ -110,6 +114,7 @@ class TruncationOracle:
         tree: Optional[DecompositionTree] = None,
         result: Optional[SensitivityResult] = None,
         skip_relations: Tuple[str, ...] = (),
+        base_count: Optional[int] = None,
     ):
         self._query = query
         self._db = db
@@ -126,7 +131,9 @@ class TruncationOracle:
         # Distinct sensitivity levels, ascending; thresholds between two
         # levels produce identical truncations.
         self._levels: List[int] = sorted(set(self._sensitivities.values()))
-        self._base_count = count_query(query, db, tree=tree)
+        if base_count is None:
+            base_count = count_query(query, db, tree=tree)
+        self._base_count = base_count
         # Because the primary relation appears exactly once in the query
         # (no self-joins), every output tuple matches exactly one distinct
         # primary row, and removing a row with multiplicity c and tuple

@@ -310,10 +310,16 @@ def _pack_keys(
 def _match_pairs(lkey: np.ndarray, rkey: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Index pairs ``(lidx, ridx)`` with ``lkey[lidx] == rkey[ridx]``.
 
-    The vectorized hash-join core: sort the right keys once, locate each
-    left key's match range with two ``searchsorted`` calls, then expand the
-    ranges into explicit pairs with ``repeat``/``cumsum`` arithmetic.
+    The vectorized hash-join core: sort the *smaller* key array once,
+    locate each probe key's match range with two ``searchsorted`` calls,
+    then expand the ranges into explicit pairs with ``repeat``/``cumsum``
+    arithmetic.  Sorting the smaller side matters for the maintained
+    join-state folds, whose joins are one tiny delta against one large
+    cached relation — argsorting the large side would dominate the probe.
     """
+    if lkey.size < rkey.size:
+        ridx, lidx = _match_pairs(rkey, lkey)
+        return lidx, ridx
     order = np.argsort(rkey, kind="stable")
     sorted_r = rkey[order]
     start = np.searchsorted(sorted_r, lkey, side="left")
@@ -345,7 +351,10 @@ class ColumnarRelation:
     2
     """
 
-    __slots__ = ("_schema", "_codes", "_mult", "_counts_cache", "_vocab")
+    __slots__ = (
+        "_schema", "_codes", "_mult", "_counts_cache", "_vocab",
+        "_column_values_cache",
+    )
 
     def __init__(
         self,
@@ -388,6 +397,7 @@ class ColumnarRelation:
         self._mult = mult
         self._counts_cache: Optional[Dict[Row, int]] = None
         self._vocab = _VOCAB
+        self._column_values_cache: Optional[Dict[str, frozenset]] = None
 
     def _check_row(self, row: Sequence[object]) -> None:
         if len(row) != self._schema.arity:
@@ -417,6 +427,7 @@ class ColumnarRelation:
         rel._mult = mult
         rel._counts_cache = None
         rel._vocab = vocab if vocab is not None else _VOCAB
+        rel._column_values_cache = None
         return rel
 
     @classmethod
@@ -493,10 +504,22 @@ class ColumnarRelation:
 
     # ------------------------------------------------------- value extraction
     def column_values(self, attribute: str) -> frozenset:
-        """The active domain of ``attribute`` in this relation (Sec. 3.1)."""
-        pos = self._schema.index_of(attribute)
-        values = self._vocab.values
-        return frozenset(values[c] for c in np.unique(self._codes[pos]).tolist())
+        """The active domain of ``attribute`` in this relation (Sec. 3.1).
+
+        Memoised per attribute (relations are logically immutable): the
+        ``np.unique`` over a full code column is far more expensive than
+        the lookups maintained sensitivity reads issue repeatedly."""
+        if self._column_values_cache is None:
+            self._column_values_cache = {}
+        cached = self._column_values_cache.get(attribute)
+        if cached is None:
+            pos = self._schema.index_of(attribute)
+            values = self._vocab.values
+            cached = frozenset(
+                values[c] for c in np.unique(self._codes[pos]).tolist()
+            )
+            self._column_values_cache[attribute] = cached
+        return cached
 
     def max_frequency(self, attributes: Sequence[str]) -> int:
         """Largest bag-count of any single value combination of ``attributes``."""

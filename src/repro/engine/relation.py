@@ -45,7 +45,7 @@ class Relation:
     2
     """
 
-    __slots__ = ("_schema", "_counts")
+    __slots__ = ("_schema", "_counts", "_column_values_cache")
 
     def __init__(
         self,
@@ -70,6 +70,7 @@ class Relation:
                 self._check_row(row)
                 counts[row] = counts.get(row, 0) + 1
         self._counts = counts
+        self._column_values_cache: Optional[Dict[str, frozenset]] = None
 
     def _check_row(self, row: Sequence[object]) -> None:
         if len(row) != self._schema.arity:
@@ -127,9 +128,19 @@ class Relation:
 
     # ------------------------------------------------------- value extraction
     def column_values(self, attribute: str) -> frozenset:
-        """The active domain of ``attribute`` in this relation (Sec. 3.1)."""
-        pos = self._schema.index_of(attribute)
-        return frozenset(row[pos] for row in self._counts)
+        """The active domain of ``attribute`` in this relation (Sec. 3.1).
+
+        Memoised per attribute: relations are logically immutable, and
+        witness extrapolation asks for the same domains on every
+        maintained sensitivity read."""
+        if self._column_values_cache is None:
+            self._column_values_cache = {}
+        cached = self._column_values_cache.get(attribute)
+        if cached is None:
+            pos = self._schema.index_of(attribute)
+            cached = frozenset(row[pos] for row in self._counts)
+            self._column_values_cache[attribute] = cached
+        return cached
 
     def max_frequency(self, attributes: Sequence[str]) -> int:
         """Largest bag-count of any single value combination of ``attributes``.
@@ -242,6 +253,7 @@ class Relation:
         rel = cls.__new__(cls)
         rel._schema = schema
         rel._counts = counts
+        rel._column_values_cache = None
         return rel
 
 

@@ -42,14 +42,17 @@ kernels — one numpy pass per tree edge for thousands of probes.
 
 **Applied updates (streams).**  Beyond hypothetical probes, the evaluator
 can *commit* updates: :meth:`IncrementalEvaluator.apply_insert` /
-:meth:`~IncrementalEvaluator.apply_delete` mutate the cached structure in
-place by recomputing only the botjoins on the touched leaf-to-root path —
-no re-decomposition, no re-binding of untouched relations, no visits to
-off-path subtrees.  Sibling complements and within-node complements that
-the update invalidates are merely *marked* stale and rebuilt lazily
-before the next probe, so a stream of updates interleaved with count
-reads never pays for probe state it does not use.  This is the engine
-behind :class:`repro.session.PreparedQuery`'s mutation methods.
+:meth:`~IncrementalEvaluator.apply_delete` fold the one-tuple delta into
+the per-component :class:`~repro.evaluation.joinstate.JoinState` — the
+maintained layer owning the botjoins (and, lazily, the topjoins and
+multiplicity tables the sensitivity algorithms read) — recomputing only
+the touched leaf-to-root path, no re-decomposition, no re-binding of
+untouched relations, no visits to off-path subtrees.  Sibling
+complements and within-node complements that the update invalidates are
+merely *marked* stale and rebuilt lazily before the next probe, so a
+stream of updates interleaved with count reads never pays for probe
+state it does not use.  This is the engine behind
+:class:`repro.session.PreparedQuery`'s mutation methods.
 
 Deltas stay non-negative throughout (the update's sign factors out), so
 both relation backends can represent them; columnar ``int64`` overflow
@@ -63,14 +66,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.database import Database
-from repro.engine.operators import difference, group_by, join, join_all, union_all
+from repro.engine.operators import group_by, join
 from repro.engine.relation import Row
-from repro.evaluation.yannakakis import (
-    BoundTree,
-    _component_trees,
-    bind,
-    compute_botjoins,
-)
+from repro.evaluation.joinstate import AppliedUpdate, JoinState
+from repro.evaluation.yannakakis import _component_trees
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.jointree import DecompositionTree
 from repro.exceptions import SchemaError, UnknownRelationError
@@ -81,12 +80,15 @@ PROBE_ATTRIBUTE = "__probe__"
 
 @dataclass
 class _Component:
-    """Cached evaluation state for one connected component of the query."""
+    """Cached evaluation state for one connected component of the query.
 
-    query: ConjunctiveQuery
-    bound: BoundTree
-    botjoins: Dict[str, object]
-    count: int
+    The join-tree structure itself (bound tree, botjoins, and — for
+    sensitivity consumers — topjoins and multiplicity tables) lives in
+    the component's maintained :class:`JoinState`; this wrapper adds the
+    evaluator's probe-only caches and the cross-component multiplier.
+    """
+
+    state: JoinState
     #: product of the other components' counts (scales every delta).
     multiplier: int = 1
     #: ``v -> rel_{parent(v)} r̃join (r̃join of K(c) for siblings c of v)``.
@@ -99,6 +101,22 @@ class _Component:
     stale_parents: Set[str] = field(default_factory=set)
     #: multi-atom nodes whose ``node_others`` an applied update invalidated.
     stale_other_nodes: Set[str] = field(default_factory=set)
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        return self.state.query
+
+    @property
+    def bound(self):
+        return self.state.bound
+
+    @property
+    def botjoins(self) -> Dict[str, object]:
+        return self.state.botjoins
+
+    @property
+    def count(self) -> int:
+        return self.state.count
 
 
 class IncrementalEvaluator:
@@ -181,14 +199,7 @@ class IncrementalEvaluator:
     def _build_component(
         sub: ConjunctiveQuery, sub_tree: DecompositionTree, db: Database
     ) -> _Component:
-        bound = bind(sub, sub_tree, db)
-        botjoins = compute_botjoins(bound)
-        return _Component(
-            query=sub,
-            bound=bound,
-            botjoins=botjoins,
-            count=botjoins[bound.tree.root].total_count(),
-        )
+        return _Component(state=JoinState(sub, sub_tree, db))
 
     @staticmethod
     def _edge_complements(
@@ -292,6 +303,14 @@ class IncrementalEvaluator:
         """``|Q(D)|`` on the current (post-update) database (cached)."""
         return self._base_count
 
+    @property
+    def component_states(self) -> Tuple[JoinState, ...]:
+        """The maintained :class:`JoinState` of every connected component,
+        in component order.  The sensitivity algorithms consume these
+        directly, so session reads after updates reuse the folded
+        botjoins/topjoins/tables instead of rebuilding them."""
+        return tuple(component.state for component in self._components)
+
     # ----------------------------------------------------------------- probes
     def delta(self, relation: str, row: Sequence[object]) -> int:
         """``w(t)`` — the count change magnitude of a ``±1`` update of ``row``.
@@ -383,98 +402,47 @@ class IncrementalEvaluator:
         new_db = self._db.with_relation(
             relation, base.add(row) if insert else base.remove(row)
         )
-        self._refresh_path(component, relation, row, insert)
+        # The delta fold itself lives in the maintained JoinState (it
+        # owns botjoins, topjoins and multiplicity tables alike); the
+        # evaluator only translates the report into staleness marks on
+        # its probe-only caches.  apply_update stages every fallible step
+        # before the first cache mutation, so a raising update leaves the
+        # evaluator exactly as it was.
+        report = component.state.apply_update(relation, row, insert)
+        self._mark_probe_caches_stale(component, report)
+        # Witness extrapolation reads representative domains across the
+        # whole database, so the *other* components' cached witnesses can
+        # go stale too whenever they share a base column name with the
+        # updated relation (the touched component already dropped its own).
+        updated_columns = component.state.base_columns(relation)
+        for other in self._components:
+            if other is not component:
+                other.state.drop_domain_dependent_witnesses(updated_columns)
         self._db = new_db
         self._refresh_totals()
         return self._base_count
 
-    def _refresh_path(
-        self, component: _Component, relation: str, row: Row, insert: bool
+    @staticmethod
+    def _mark_probe_caches_stale(
+        component: _Component, report: AppliedUpdate
     ) -> None:
-        """Fold one committed update into the cached structure.
-
-        ``|Q(D)|`` and every botjoin are linear in each relation's
-        multiplicity vector, so the one-tuple update contributes a small
-        *signed delta* to each botjoin on the node-to-root path: exactly
-        the probe propagation, folded into the caches with bag union /
-        monus (monus is exact here — a delete's delta never exceeds the
-        tuple's own prior contribution).  Off-path subtrees are never
-        visited; sibling complements hanging off the path and within-node
-        complements of the touched node are only *marked* stale.
-
-        All delta math reads pre-update state only (the ancestor formula
-        never consults the path child's own botjoin), so the whole walk
-        is *staged* first and committed in one non-fallible sweep at the
-        end — an exception anywhere (columnar overflow, say) leaves the
-        caches untouched for :meth:`_apply` to report cleanly.
-        """
-        bound = component.bound
-        tree = bound.tree
-        atom = component.query.atom(relation)
-        predicate = component.query.selections.get(relation)
-        if predicate is not None:
-            if not predicate(dict(zip(atom.variables, row))):
-                return  # filtered out before the join: no cached state moves
-        bound_atom = bound.atom_relations[relation]
-        new_atom = bound_atom.add(row) if insert else bound_atom.remove(row)
-        node_id = tree.node_of_relation(relation)
-        node = tree.node(node_id)
-        # The node-level delta joins the one-row update with everything
-        # else the node's botjoin multiplies it with.  For deletes this
-        # uses the *pre-update* sibling state, which is exactly the
-        # removed tuple's contribution.
-        delta = type(bound_atom)(list(atom.variables), {row: 1})
-        if len(node.relations) == 1:
-            new_node_relation = new_atom
-        else:
-            for other in node.relations:
-                if other != relation:
-                    delta = join(delta, bound.atom_relations[other])
-            new_node_relation = join_all(
-                [
-                    new_atom if rel == relation else bound.atom_relations[rel]
-                    for rel in node.relations
-                ]
-            )
-        staged_botjoins: Dict[str, object] = {}
-        previous: Optional[str] = None
-        current: Optional[str] = node_id
-        while current is not None:
-            if previous is None:
-                for child in tree.children(current):
-                    delta = join(delta, component.botjoins[child])
-            else:
-                delta = join(delta, bound.relation(current))
-                for child in tree.children(current):
-                    if child != previous:
-                        delta = join(delta, component.botjoins[child])
-            delta = group_by(delta, sorted(tree.shared_with_parent(current)))
-            if delta.is_empty():
-                break  # joins nothing from here up: no botjoin changes
-            staged_botjoins[current] = (
-                union_all([component.botjoins[current], delta])
-                if insert
-                else difference(component.botjoins[current], delta)
-            )
-            previous, current = current, tree.parent(current)
-        # ----- commit (dict/set assignments only; nothing below raises)
-        bound.atom_relations[relation] = new_atom
-        bound.node_relations[node_id] = new_node_relation
-        if len(node.relations) > 1:
-            component.stale_other_nodes.add(node_id)
-        if tree.children(node_id):
+        """Invalidate the probe-only complements an applied update moved."""
+        if report.filtered:
+            return  # filtered out before the join: no cached state moved
+        tree = component.state.tree
+        if report.node_multi_atom:
+            component.stale_other_nodes.add(report.node_id)
+        if tree.children(report.node_id):
             # rel_node changed: every child-edge complement under the node
             # embeds it, whether or not the botjoin delta survives below.
-            component.stale_parents.add(node_id)
-        for changed, botjoin in staged_botjoins.items():
-            component.botjoins[changed] = botjoin
+            component.stale_parents.add(report.node_id)
+        for changed in report.changed_botjoins:
             parent = tree.parent(changed)
             if parent is not None:
                 # changed's botjoin moved: its siblings' complements (and
                 # the parent's other child edges) are stale; changed's own
                 # complement does not involve it.
                 component.stale_parents.add(parent)
-        component.count = component.botjoins[tree.root].total_count()
 
     # ----------------------------------------------------------- propagation
     @staticmethod

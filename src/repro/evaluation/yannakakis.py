@@ -103,6 +103,34 @@ def compute_botjoins(bound: BoundTree) -> Dict[str, Relation]:
     return botjoins
 
 
+def compute_topjoins(
+    bound: BoundTree, botjoins: Dict[str, Relation]
+) -> Dict[str, Optional[Relation]]:
+    """Topjoins ``J(v)`` for every node, in pre-order (paper Eqn. 8).
+
+    ``J(root)`` is ``None`` (the complement of the whole tree is empty).
+    For a node whose parent is the root the topjoin omits ``J(parent)``;
+    otherwise ``J(v) = γ_{A_v ∩ A_p} r̃join(rel_p, J(p), {K(s) | s ∈ N(v)})``.
+    """
+    tree = bound.tree
+    topjoins: Dict[str, Optional[Relation]] = {tree.root: None}
+    for node_id in tree.pre_order():
+        if node_id == tree.root:
+            continue
+        parent = tree.parent(node_id)
+        assert parent is not None
+        parts: List[Relation] = [bound.relation(parent)]
+        parent_top = topjoins[parent]
+        if parent_top is not None:
+            parts.append(parent_top)
+        for sibling in tree.neighbours(node_id):
+            parts.append(botjoins[sibling])
+        joined = join_all(parts)
+        group_attrs = sorted(tree.shared_with_parent(node_id))
+        topjoins[node_id] = group_by(joined, group_attrs)
+    return topjoins
+
+
 def count_bound(bound: BoundTree) -> int:
     """``|Q(D)|`` from a bound tree via one botjoin pass."""
     botjoins = compute_botjoins(bound)

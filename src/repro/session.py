@@ -19,13 +19,18 @@ unified DP releases over the three mechanisms
 :class:`~repro.dp.accountant.BudgetAccountant` integration), and a
 *stream of committed updates* (:meth:`~PreparedQuery.insert`,
 :meth:`~PreparedQuery.delete`, :meth:`~PreparedQuery.apply`) that
-maintain the cached counts by recomputing only the touched leaf-to-root
-path — never a full rebuild.
+maintain the cached state — never a full rebuild.
 
-Results are cached per configuration and invalidated exactly when a
-mutation lands, so a session is always observationally equivalent to a
-fresh session over its current database (pinned by
-``tests/property/test_session_equivalence.py``).
+Maintenance covers the whole TSens join-state, not just counts: each
+component's :class:`~repro.evaluation.joinstate.JoinState` folds every
+committed update into its botjoins (leaf-to-root), topjoins
+(root-to-leaf) and factored multiplicity tables (one patched factor),
+so sensitivity reads after updates refresh from maintained structures.
+Result objects are cached per configuration and invalidated exactly
+when a mutation lands, so a session is always observationally
+equivalent to a fresh session over its current database (pinned by
+``tests/property/test_session_equivalence.py`` and
+``tests/property/test_sensitivity_maintenance.py``).
 
 Quickstart::
 
@@ -50,7 +55,7 @@ from repro.query.classify import is_path_query
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.jointree import DecompositionTree
 from repro.core.explain import Explanation, explain as _explain
-from repro.core.general import tsens
+from repro.core.general import tsens_from_states
 from repro.core.naive import naive_local_sensitivity
 from repro.core.path import ls_path_join
 from repro.core.result import SensitiveTuple, SensitivityResult
@@ -240,6 +245,14 @@ class PreparedQuery:
             )
         return self._evaluator
 
+    def _states(self):
+        """The maintained per-component join states (botjoins eagerly,
+        topjoins/tables lazily) that committed updates fold deltas into.
+        Every TSens-family read goes through these, so a read after an
+        update refreshes from maintained state instead of recomputing
+        the bind/botjoin/topjoin/table pipeline from scratch."""
+        return self._ensure_evaluator().component_states
+
     def count(self) -> int:
         """``|Q(D)|`` on the current database, from maintained state."""
         return self._ensure_evaluator().base_count
@@ -310,31 +323,26 @@ class PreparedQuery:
                 evaluator=evaluator,
             )
         if top_k is not None:
+            # The clamped passes rerun per call (clamping is not linear),
+            # but the maintained state supplies the bound tree whenever
+            # the prepared tree is the one the one-shot call would use —
+            # cyclic auto-GHDs keep their historical error surface.
+            tree = self._join_tree_or_user_tree()
+            state = None
+            if len(self._pairs) == 1 and tree is self._pairs[0][1]:
+                state = self._states()[0]
             return tsens_topk(
                 self._query,
                 self._db,
                 k=top_k,
-                tree=self._join_tree_or_user_tree(),
+                tree=tree,
                 skip_relations=skip,
+                state=state,
             )
         if method == "path":
             return ls_path_join(self._query, self._db)
-        if len(self._pairs) == 1:
-            return tsens(
-                self._query,
-                self._db,
-                tree=self._pairs[0][1],
-                skip_relations=skip,
-                max_width=self._max_width,
-            )
-        return tsens(
-            self._query,
-            self._db,
-            component_trees={
-                sub.relation_names[0]: sub_tree for sub, sub_tree in self._pairs
-            },
-            skip_relations=skip,
-            max_width=self._max_width,
+        return tsens_from_states(
+            self._query, self._db, self._states(), skip_relations=skip
         )
 
     def _join_tree_or_user_tree(self) -> Optional[DecompositionTree]:
@@ -365,12 +373,23 @@ class PreparedQuery:
         ).per_relation
 
     def explain(self, skip_relations: Iterable[str] = ()) -> Explanation:
-        """TSens cost profile over the prepared decomposition."""
+        """TSens cost profile over the prepared decomposition.
+
+        Profiles the *maintained* join state: the botjoins/topjoins/tables
+        the session already holds (folded under updates) are measured in
+        place rather than recomputed.  Disconnected queries keep the
+        one-shot error surface (``explain`` covers connected queries).
+        """
         skip = tuple(skip_relations)
         key = ("explain", tuple(sorted(skip)))
         if key not in self._results:
+            state = self._states()[0] if len(self._pairs) == 1 else None
             self._results[key] = _explain(
-                self._query, self._db, tree=self.tree, skip_relations=skip
+                self._query,
+                self._db,
+                tree=self.tree,
+                skip_relations=skip,
+                state=state,
             )
         return self._results[key]  # type: ignore[return-value]
 
@@ -511,6 +530,10 @@ class PreparedQuery:
         skip = tuple(skip_relations)
         key = (primary, tuple(sorted(skip)))
         if key not in self._oracles:
+            # Both expensive oracle inputs come off the maintained state:
+            # the sensitivity result (tables folded under updates) and the
+            # base count (root botjoins) — the oracle itself only rescans
+            # the primary relation's tuple sensitivities.
             self._oracles[key] = TruncationOracle(
                 self._query,
                 self._db,
@@ -518,6 +541,7 @@ class PreparedQuery:
                 tree=self.tree,
                 result=self.sensitivity(skip_relations=skip),
                 skip_relations=skip,
+                base_count=self.count(),
             )
         return self._oracles[key]
 

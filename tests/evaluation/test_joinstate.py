@@ -1,0 +1,274 @@
+"""Unit tests for the maintained join-state layer.
+
+The property suite (``tests/property/test_sensitivity_maintenance.py``)
+pins end-to-end equivalence of maintained sensitivity reads; these tests
+check the :class:`~repro.evaluation.joinstate.JoinState` mechanics
+directly — laziness, per-level delta folding against full recomputation,
+witness-cache invalidation, selection filtering and staged atomicity.
+"""
+
+import pytest
+
+from repro.engine import Database, Relation
+from repro.evaluation import JoinState, compute_topjoins
+from repro.evaluation.joinstate import table_layout
+from repro.query import parse_predicate, parse_query
+from repro.query.gyo import gyo_join_tree
+from repro.query.jointree import join_tree_from_parents
+from repro.exceptions import MultiplicityOverflowError
+
+BACKENDS = ("python", "columnar")
+
+
+def _state(query, db, backend):
+    db = db.with_backend(backend)
+    return JoinState(query, gyo_join_tree(query), db), db
+
+
+def _same_bag(left, right):
+    rows = set(left) | set(right)
+    assert tuple(left.attributes) == tuple(right.attributes)
+    for row in rows:
+        assert left.multiplicity(row) == right.multiplicity(row), row
+
+
+def _assert_levels_match_fresh(state, query, db):
+    """Every maintained level equals a freshly built state on ``db``."""
+    fresh = JoinState(query, state.tree, db)
+    for node_id in state.tree.node_ids:
+        _same_bag(state.botjoins[node_id], fresh.botjoins[node_id])
+    if state.topjoins_materialised:
+        fresh_top = compute_topjoins(fresh.bound, fresh.botjoins)
+        for node_id, top in state.topjoins().items():
+            if top is None:
+                assert fresh_top[node_id] is None
+            else:
+                _same_bag(top, fresh_top[node_id])
+    for relation in state.tables_materialised:
+        maintained = state.multiplicity_table(relation)
+        rebuilt = fresh.multiplicity_table(relation)
+        assert len(maintained.factors) == len(rebuilt.factors)
+        for a, b in zip(maintained.factors, rebuilt.factors):
+            _same_bag(a, b)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestMaintainedLevels:
+    def test_fold_matches_fresh_rebuild(self, fig1_query, fig1_db, backend):
+        state, db = _state(fig1_query, fig1_db, backend)
+        state.topjoins()
+        for relation in fig1_query.relation_names:
+            state.multiplicity_table(relation)
+        updates = [
+            ("R1", ("a2", "b2", "c1"), True),
+            ("R3", ("a2", "e3"), True),
+            ("R2", ("a1", "b1", "d1"), False),
+            ("R4", ("b2", "f2"), False),
+            ("R1", ("a9", "b9", "c9"), True),  # joins nothing below the node
+        ]
+        for relation, row, insert in updates:
+            report = state.apply_update(relation, row, insert)
+            assert not report.filtered
+            base = db.relation(relation)
+            db = db.with_relation(
+                relation, base.add(row) if insert else base.remove(row)
+            )
+            _assert_levels_match_fresh(state, fig1_query, db)
+
+    def test_deep_path_fold(self, fig3_query, fig3_db, backend):
+        state, db = _state(fig3_query, fig3_db, backend)
+        state.topjoins()
+        for relation in fig3_query.relation_names:
+            state.multiplicity_table(relation)
+        for relation, row, insert in [
+            ("R4", ("d1", "e9"), True),
+            ("R1", ("a1", "b1"), False),
+            ("R2", ("b2", "c1"), False),
+        ]:
+            state.apply_update(relation, row, insert)
+            base = db.relation(relation)
+            db = db.with_relation(
+                relation, base.add(row) if insert else base.remove(row)
+            )
+            _assert_levels_match_fresh(state, fig3_query, db)
+
+    def test_broom_sideways_then_downward_fold(self, backend):
+        """A star around a hub plus a two-hop handle: an update in the
+        handle stages sibling topjoins at the hub (sideways) whose own
+        subtrees then re-propagate (downward) — the deepest composition
+        of the root-to-leaf fold."""
+        query = parse_query(
+            "Q(A,B,C,D,F,G) :- Hub(A,B), S1(A,C), S2(A,D), T1(B,F), T2(F,G)"
+        )
+        tree = join_tree_from_parents(
+            query, "Hub", {"S1": "Hub", "S2": "Hub", "T1": "Hub", "T2": "T1"}
+        )
+        db = Database(
+            {
+                "Hub": Relation(["A", "B"], [(0, 1), (1, 1), (1, 2)]),
+                "S1": Relation(["A", "C"], [(0, 7), (1, 7), (1, 8)]),
+                "S2": Relation(["A", "D"], [(0, 3), (1, 3)]),
+                "T1": Relation(["B", "F"], [(1, 4), (2, 4), (2, 5)]),
+                "T2": Relation(["F", "G"], [(4, 6), (5, 6), (5, 9)]),
+            },
+            backend=backend,
+        )
+        state = JoinState(query, tree, db)
+        state.topjoins()
+        for relation in query.relation_names:
+            state.multiplicity_table(relation)
+        for relation, row, insert in [
+            ("S1", (1, 9), True),   # star leaf: sideways reaches T1, then T2
+            ("T2", (4, 2), True),   # handle tip: up two levels, across, down
+            ("T1", (1, 4), False),  # mid-handle delete
+            ("Hub", (1, 1), False), # root: pure downward everywhere
+        ]:
+            state.apply_update(relation, row, insert)
+            base = db.relation(relation)
+            db = db.with_relation(
+                relation, base.add(row) if insert else base.remove(row)
+            )
+            _assert_levels_match_fresh(state, query, db)
+
+    def test_ghd_multi_atom_node_fold(self, backend):
+        query = parse_query("R1(A,B), R2(B,C), R3(C,A)")
+        db = Database(
+            {
+                "R1": Relation(["A", "B"], [(0, 1), (1, 1), (1, 2)]),
+                "R2": Relation(["B", "C"], [(1, 0), (1, 1), (2, 0)]),
+                "R3": Relation(["C", "A"], [(0, 0), (0, 1), (1, 1)]),
+            },
+            backend=backend,
+        )
+        from repro.query.ghd import auto_decompose
+
+        tree = auto_decompose(query)
+        state = JoinState(query, tree, db)
+        state.topjoins()
+        for relation in query.relation_names:
+            state.multiplicity_table(relation)
+        for relation, row, insert in [
+            ("R1", (1, 1), True),
+            ("R2", (1, 1), False),
+            ("R3", (0, 0), False),
+        ]:
+            state.apply_update(relation, row, insert)
+            base = db.relation(relation)
+            db = db.with_relation(
+                relation, base.add(row) if insert else base.remove(row)
+            )
+            _assert_levels_match_fresh(state, query, db)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestLazinessAndInvalidation:
+    def test_count_only_sessions_never_materialise(
+        self, fig1_query, fig1_db, backend
+    ):
+        state, _ = _state(fig1_query, fig1_db, backend)
+        assert not state.topjoins_materialised
+        assert state.tables_materialised == ()
+        state.apply_update("R3", ("a1", "e9"), True)
+        assert not state.topjoins_materialised
+        assert state.tables_materialised == ()
+
+    def test_partial_tables_stay_partial(self, fig1_query, fig1_db, backend):
+        state, _ = _state(fig1_query, fig1_db, backend)
+        state.multiplicity_table("R3")
+        state.apply_update("R4", ("b1", "f9"), True)
+        assert state.tables_materialised == ("R3",)
+
+    def test_witness_cache_invalidation(self, fig1_query, fig1_db, backend):
+        state, _ = _state(fig1_query, fig1_db, backend)
+        before = {}
+        for relation in fig1_query.relation_names:
+            before[relation] = state.multiplicity_table(relation)
+            state.witnesses[relation] = f"cached-{relation}"
+        # The updated relation's witness is always dropped (its domain
+        # feeds extrapolation); every other relation's witness must be
+        # dropped exactly when its table object was patched.
+        state.apply_update("R3", ("a1", "e9"), True)
+        assert "R3" not in state.witnesses
+        for relation in ("R1", "R2", "R4"):
+            patched = state.multiplicity_table(relation) is not before[relation]
+            assert (relation not in state.witnesses) == patched, relation
+
+    def test_unchanged_tables_keep_witnesses(self, fig1_query, fig1_db, backend):
+        state, _ = _state(fig1_query, fig1_db, backend)
+        for relation in fig1_query.relation_names:
+            state.multiplicity_table(relation)
+            state.witnesses[relation] = f"cached-{relation}"
+        # A leaf insert whose join value exists nowhere else: the botjoin
+        # delta dies at the leaf's parent, so no other table moves and
+        # every witness except the updated relation's survives.
+        state.apply_update("R3", ("zz", "e9"), True)
+        assert "R3" not in state.witnesses
+        for relation in ("R1", "R2", "R4"):
+            assert state.witnesses[relation] == f"cached-{relation}"
+
+    def test_selection_filtered_row_is_a_no_op(self, backend):
+        query = parse_query("R(A,B), S(B,C)").with_selection(
+            "R", parse_predicate("A != 0")
+        )
+        db = Database(
+            {
+                "R": Relation(["A", "B"], [(1, 2)]),
+                "S": Relation(["B", "C"], [(2, 3)]),
+            },
+            backend=backend,
+        )
+        state = JoinState(query, gyo_join_tree(query), db)
+        state.topjoins()
+        before = state.count
+        report = state.apply_update("R", (0, 2), True)
+        assert report.filtered
+        assert report.changed_botjoins == ()
+        assert state.count == before
+
+
+class TestStagedAtomicity:
+    def test_overflowing_update_leaves_state_untouched(self):
+        # |Q(D)| sits just under int64; the staged fold of one more copy
+        # of the R row adds another `big` outputs, overflowing during the
+        # staged union — before anything was committed.
+        big = (2**63 - 1) // 2
+        query = parse_query("R(A,B), S(B,C)")
+        db = Database(
+            {
+                "R": Relation(["A", "B"], {(1, 2): 2}),
+                "S": Relation(["B", "C"], {(2, 3): big}),
+            },
+            backend="columnar",
+        )
+        state = JoinState(query, gyo_join_tree(query), db)
+        state.topjoins()
+        for relation in query.relation_names:
+            state.multiplicity_table(relation)
+        before_count = state.count
+        before_atom = state.bound.atom_relation("R")
+        before_tables = {
+            relation: state.multiplicity_table(relation)
+            for relation in query.relation_names
+        }
+        with pytest.raises(MultiplicityOverflowError):
+            state.apply_update("R", (1, 2), True)
+        assert state.count == before_count
+        assert state.bound.atom_relation("R") is before_atom
+        for relation in query.relation_names:
+            assert state.multiplicity_table(relation) is before_tables[relation]
+
+
+class TestTableLayout:
+    def test_layout_matches_factored_shape(self, fig1_query):
+        tree = gyo_join_tree(fig1_query)
+        for relation in fig1_query.relation_names:
+            layout = table_layout(fig1_query, tree, relation)
+            assert layout.relation == relation
+            covered = [a for c in layout.components for a in c.effective]
+            assert sorted(covered) == sorted(layout.effective)
+
+    def test_single_relation_query_has_no_parts(self):
+        query = parse_query("R(A,B)")
+        layout = table_layout(query, gyo_join_tree(query), "R")
+        assert layout.components == ()
+        assert layout.effective == ()
