@@ -27,6 +27,11 @@ setup(
         "console_scripts": [
             "repro=repro.cli:main",
         ],
+        # Plugin group for `repro lint`: each entry point is a callable
+        # returning an iterable of repro.analysis.framework.Rule instances.
+        "repro.lint_rules": [
+            "builtin=repro.analysis.rules:builtin_rules",
+        ],
     },
     classifiers=[
         "Programming Language :: Python :: 3",

@@ -1,0 +1,31 @@
+"""Project-specific static analysis (``repro lint``).
+
+See :mod:`repro.analysis.framework` for the driver,
+:mod:`repro.analysis.rules` for the rule catalog, and
+``docs/lint-rules.md`` for the human-oriented reference.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.framework import (
+    FileContext,
+    Finding,
+    LintConfigError,
+    LintResult,
+    LintRunner,
+    Rule,
+)
+from repro.analysis.rules import builtin_rules, load_rules
+from repro.analysis.suppressions import Suppressions
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintConfigError",
+    "LintResult",
+    "LintRunner",
+    "Rule",
+    "Suppressions",
+    "builtin_rules",
+    "load_rules",
+]

@@ -1,0 +1,80 @@
+"""Baseline files for ``repro lint``.
+
+A baseline records the findings that existed when it was written so a CI
+gate can fail only on *new* findings.  Entries are keyed by
+``(rule, path, stripped line text)`` — not line numbers — so unrelated
+edits above a finding don't invalidate the baseline, while deleting or
+fixing the offending line makes its entry *stale*.  Stale entries are
+dropped on ``repro lint --update-baseline`` (they "age out").
+
+Matching is consuming: each baseline entry absolves at most one live
+finding, so duplicating a baselined bad line yields a new finding.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.analysis.framework import Finding, LintConfigError
+
+_VERSION = 1
+
+
+class Baseline:
+    """A multiset of accepted finding keys."""
+
+    def __init__(self, entries: Iterable[Tuple[str, str, str]] = ()):
+        self._entries = Counter(tuple(entry) for entry in entries)
+
+    def __len__(self) -> int:
+        return sum(self._entries.values())
+
+    # --------------------------------------------------------------- I/O
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise LintConfigError(f"baseline {path} is not valid JSON: {error}") from error
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise LintConfigError(f"baseline {path} has an unsupported format")
+        entries = []
+        for row in payload.get("entries", []):
+            entries.append((row["rule"], row["path"], row["line_text"]))
+        return cls(entries)
+
+    @staticmethod
+    def write(path: Path, findings: Iterable[Finding]) -> int:
+        """Persist ``findings`` as the new baseline; returns the entry count."""
+        rows = [
+            {"rule": rule, "path": file_path, "line_text": line_text}
+            for rule, file_path, line_text in sorted(f.key() for f in findings)
+        ]
+        payload = {"version": _VERSION, "entries": rows}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return len(rows)
+
+    # ---------------------------------------------------------- matching
+    def split(self, findings: List[Finding]) -> Tuple[List[Finding], int, int]:
+        """Partition live findings against the baseline.
+
+        Returns ``(new findings, matched count, stale entry count)`` where
+        stale entries are baseline rows with no surviving finding.
+        """
+        remaining = Counter(self._entries)
+        new: List[Finding] = []
+        matched = 0
+        for finding in findings:
+            key = finding.key()
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                matched += 1
+            else:
+                new.append(finding)
+        stale = sum(remaining.values())
+        return new, matched, stale

@@ -1,0 +1,54 @@
+"""Text and JSON reporters for ``repro lint`` results."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.framework import LintResult, Rule
+
+
+def render_text(result: LintResult) -> str:
+    """Human-oriented report: one ``path:line:col RULE message`` per finding."""
+    lines = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.column + 1}: "
+            f"{finding.rule} {finding.message}"
+        )
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.checked_files} file(s)"
+        f" ({result.suppressed} suppressed, {result.baselined} baselined)"
+    )
+    if result.stale_baseline:
+        summary += (
+            f"; {result.stale_baseline} stale baseline entr"
+            f"{'y' if result.stale_baseline == 1 else 'ies'}"
+            " — run with --update-baseline to age out"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-oriented report (consumed by the CI lint job)."""
+    payload = {
+        "findings": [finding.as_dict() for finding in result.findings],
+        "summary": {
+            "findings": len(result.findings),
+            "checked_files": result.checked_files,
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "stale_baseline": result.stale_baseline,
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_rule_list(rules: Sequence[Rule]) -> str:
+    """The ``repro lint --list-rules`` catalog."""
+    lines = []
+    for rule in sorted(rules, key=lambda r: r.rule_id):
+        lines.append(f"{rule.rule_id}  {rule.title}")
+        lines.append(f"      {rule.rationale}")
+    return "\n".join(lines)

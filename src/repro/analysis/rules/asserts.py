@@ -1,0 +1,40 @@
+"""R006 — no-bare-assert: library code must raise real exceptions.
+
+``python -O`` strips ``assert`` statements, so an invariant guarded by a
+bare assert silently stops being checked in optimised runs — and its
+message is lost to callers who want to handle the failure.  Library code
+raises :class:`~repro.exceptions.InternalError` (or a specific
+:class:`~repro.exceptions.ReproError`) instead.  Tests are exempt:
+asserts are pytest's native idiom there.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from repro.analysis.framework import FileContext, Finding, Rule
+
+
+class NoBareAssertRule(Rule):
+    rule_id = "R006"
+    title = "no-bare-assert: assert statement in library code"
+    rationale = (
+        "python -O strips asserts; library invariants must raise "
+        "InternalError/ReproError so they survive optimised runs."
+    )
+
+    def applies_to(self, path: PurePath) -> bool:
+        parts = set(path.parts)
+        return "tests" not in parts and "test" not in parts
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "bare assert is stripped under python -O; raise "
+                    "InternalError (repro.exceptions) instead",
+                )

@@ -1,0 +1,104 @@
+"""R004 — dispatch-completeness: backend branches must handle both backends.
+
+The engine supports two relation backends (dict rows and
+:class:`~repro.engine.columnar.ColumnarRelation`).  An operator that
+branches ``if isinstance(x, ColumnarRelation): return columnar_path(...)``
+and then simply *ends* silently returns ``None`` for the dict backend —
+the classic half-dispatch bug.  After such a branch there must be either
+an ``else`` arm, trailing fallback code, or a delegation to the backend
+registry inside the branch.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator, List
+
+from repro.analysis.framework import (
+    FileContext,
+    Finding,
+    Rule,
+    terminal_name,
+    walk_skipping_nested_functions,
+)
+
+#: Backend classes whose isinstance checks demand a complete dispatch.
+BACKEND_CLASSES = frozenset({"ColumnarRelation"})
+
+#: Calls that delegate dispatch to the backend registry, which by
+#: construction knows every registered backend.
+REGISTRY_DELEGATES = frozenset({"dispatch", "backend_for", "registry"})
+
+
+def _tests_backend_isinstance(test: ast.AST) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Call) and terminal_name(node.func) == "isinstance":
+            if len(node.args) == 2:
+                for name_node in ast.walk(node.args[1]):
+                    if terminal_name(name_node) in BACKEND_CLASSES:
+                        return True
+    return False
+
+
+def _delegates_to_registry(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and terminal_name(node.func) in REGISTRY_DELEGATES:
+                return True
+    return False
+
+
+class DispatchCompletenessRule(Rule):
+    rule_id = "R004"
+    title = "dispatch-completeness: isinstance backend branch with no fallback"
+    rationale = (
+        "A branch on isinstance(..., ColumnarRelation) with no else/fallback "
+        "silently returns None for the other registered backend."
+    )
+
+    def applies_to(self, path: PurePath) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in walk_skipping_nested_functions(ctx.tree):
+            for body in _statement_lists(node):
+                yield from self._check_block(ctx, body)
+        # walk_skipping_nested_functions stops at defs, but dispatch code
+        # lives inside them — walk every function body explicitly.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                for body in _statement_lists(node):
+                    yield from self._check_block(ctx, body)
+
+    def _check_block(self, ctx: FileContext, body: List[ast.stmt]) -> Iterator[Finding]:
+        for index, stmt in enumerate(body):
+            if not isinstance(stmt, ast.If):
+                continue
+            if not _tests_backend_isinstance(stmt.test):
+                continue
+            if stmt.orelse:
+                continue
+            if index + 1 < len(body):
+                continue  # trailing code handles the other backend
+            if _delegates_to_registry(stmt.body):
+                continue
+            yield ctx.finding(
+                self,
+                stmt,
+                "isinstance backend branch has no else arm, no fallback code, "
+                "and no registry delegation; the non-columnar backend falls "
+                "through to None",
+            )
+
+
+def _statement_lists(node: ast.AST) -> Iterator[List[ast.stmt]]:
+    """Every statement list directly owned by ``node`` and its non-function
+    descendants (if/else bodies, loop bodies, with/try blocks, ...)."""
+    seen = []
+    for child in walk_skipping_nested_functions(node):
+        for field_name in ("body", "orelse", "finalbody"):
+            body = getattr(child, field_name, None)
+            if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+                seen.append(body)
+    yield from seen

@@ -1,0 +1,120 @@
+"""R003 — invalidate-on-mutate: session mutations must drop cached results.
+
+:class:`repro.session.PreparedQuery` caches evaluation results and
+truncation oracles keyed against the *current* database.  Any method
+that rebinds the tracked database field must therefore call the
+cache-invalidation helper, and call it unconditionally — a call hidden
+inside one branch leaves the other branch serving stale counts.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import FrozenSet, Iterator
+
+from repro.analysis.framework import (
+    FileContext,
+    Finding,
+    Rule,
+    attribute_chain_root,
+    terminal_name,
+    walk_skipping_nested_functions,
+)
+
+#: Session fields whose rebinding invalidates cached state.
+TRACKED_FIELDS: FrozenSet[str] = frozenset({"_db"})
+
+#: The helper every mutating method must call.
+INVALIDATION_HELPER = "_invalidate_caches"
+
+#: Methods exempt from the contract: construction (no caches exist yet)
+#: and the helper itself.
+EXEMPT_METHODS = frozenset({"__init__", INVALIDATION_HELPER})
+
+
+class InvalidateOnMutateRule(Rule):
+    rule_id = "R003"
+    title = "invalidate-on-mutate: session mutation without cache invalidation"
+    rationale = (
+        "A method that rebinds the session database must call "
+        f"{INVALIDATION_HELPER}() on all paths or cached counts go stale."
+    )
+
+    def applies_to(self, path: PurePath) -> bool:
+        return path.name == "session.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name in EXEMPT_METHODS:
+                    continue
+                yield from self._check_method(ctx, node.name, item)
+
+    def _check_method(
+        self, ctx: FileContext, class_name: str, method: ast.AST
+    ) -> Iterator[Finding]:
+        mutation = None
+        for node in walk_skipping_nested_functions(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    root, attr = attribute_chain_root(target)
+                    if root == "self" and attr in TRACKED_FIELDS:
+                        mutation = node
+                        break
+            if mutation is not None:
+                break
+        if mutation is None:
+            return
+        if self._calls_helper_unconditionally(method):
+            return
+        if self._calls_helper_anywhere(method):
+            message = (
+                f"{class_name}.{method.name} rebinds a tracked session field but "
+                f"calls {INVALIDATION_HELPER}() only on some paths"
+            )
+        else:
+            message = (
+                f"{class_name}.{method.name} rebinds a tracked session field "
+                f"without calling {INVALIDATION_HELPER}()"
+            )
+        yield ctx.finding(self, mutation, message)
+
+    @staticmethod
+    def _is_helper_call(stmt: ast.stmt) -> bool:
+        return (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and terminal_name(stmt.value.func) == INVALIDATION_HELPER
+        )
+
+    def _calls_helper_unconditionally(self, method: ast.AST) -> bool:
+        """The helper call appears as a direct statement of the method body
+        (or of a ``try`` body / ``finally`` — executed on every path)."""
+        def scan(body) -> bool:
+            for stmt in body:
+                if self._is_helper_call(stmt):
+                    return True
+                if isinstance(stmt, ast.Try):
+                    if scan(stmt.body) or scan(stmt.finalbody):
+                        return True
+                if isinstance(stmt, ast.With):
+                    if scan(stmt.body):
+                        return True
+            return False
+
+        return scan(method.body)
+
+    def _calls_helper_anywhere(self, method: ast.AST) -> bool:
+        for node in walk_skipping_nested_functions(method):
+            if (
+                isinstance(node, ast.Call)
+                and terminal_name(node.func) == INVALIDATION_HELPER
+            ):
+                return True
+        return False

@@ -1,0 +1,89 @@
+"""R005 — checked-overflow: multiplicity arithmetic must be overflow-checked.
+
+Multiplicity columns are int64 numpy arrays, and numpy silently wraps on
+int64 overflow — a wrapped multiplicity turns into a wrong (possibly
+negative) count and a wrong sensitivity, the worst failure mode for a DP
+system.  :mod:`repro.engine.columnar` provides checked helpers
+(``_pair_products``, ``_group_sums``, ``_checked_scale``) that raise
+:class:`~repro.exceptions.MultiplicityOverflowError` instead; raw ``+``
+or ``*`` on multiplicity operands is banned outside those helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import PurePath
+from typing import Iterator
+
+from repro.analysis.framework import (
+    FileContext,
+    Finding,
+    Rule,
+    walk_skipping_nested_functions,
+)
+
+#: Local names recognised as multiplicity arrays.
+MULT_NAME = re.compile(r"^_?(left_|right_|new_|out_)?mults?$")
+
+#: Attribute reads recognised as multiplicity columns.
+MULT_ATTRS = frozenset({"_mult"})
+
+#: Functions allowed to do raw arithmetic: the checked helpers themselves.
+CHECKED_HELPERS = re.compile(r"^_(pair_products|group_sums|checked_\w+)$")
+
+
+def _is_mult_operand(node: ast.AST) -> bool:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr in MULT_ATTRS
+    if isinstance(node, ast.Name):
+        return MULT_NAME.match(node.id) is not None
+    return False
+
+
+class CheckedOverflowRule(Rule):
+    rule_id = "R005"
+    title = "checked-overflow: raw +/* on int64 multiplicity columns"
+    rationale = (
+        "numpy int64 arithmetic wraps silently; multiplicity products and "
+        "sums must go through the checked helpers in engine/columnar.py."
+    )
+
+    def applies_to(self, path: PurePath) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if CHECKED_HELPERS.match(node.name):
+                    continue
+                yield from self._check_scope(ctx, node)
+        yield from self._check_scope(ctx, ctx.tree, top_level=True)
+
+    def _check_scope(
+        self, ctx: FileContext, scope: ast.AST, top_level: bool = False
+    ) -> Iterator[Finding]:
+        for node in walk_skipping_nested_functions(scope):
+            if top_level and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Mult)):
+                if _is_mult_operand(node.left) or _is_mult_operand(node.right):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "raw arithmetic on a multiplicity column; use the "
+                        "checked helpers (_pair_products/_group_sums/"
+                        "_checked_scale) to get overflow detection",
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Mult)
+            ):
+                if _is_mult_operand(node.target) or _is_mult_operand(node.value):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "raw augmented arithmetic on a multiplicity column; use "
+                        "the checked helpers in engine/columnar.py",
+                    )

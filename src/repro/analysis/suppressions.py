@@ -1,0 +1,84 @@
+"""Inline suppression comments for ``repro lint``.
+
+Two forms, parsed from comment tokens only (string literals that merely
+*contain* the marker text never count):
+
+* ``# repro-lint: disable=R001`` — silences the named rule(s) on the
+  comment's own line.  When the comment stands alone on its line, it
+  silences the *next* code line instead, so wide findings can be
+  suppressed without stretching the offending line.
+* ``# repro-lint: disable-file=R001`` — silences the named rule(s) for
+  the whole file.
+
+Multiple rules are comma-separated (``disable=R001,R005``).  ``disable=all``
+matches every rule.  Unknown text after the marker is ignored so the
+comment can carry a justification: ``# repro-lint: disable=R002 -- lazy fill``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Set
+
+_MARKER = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+
+def _parse_rules(raw: str) -> FrozenSet[str]:
+    return frozenset(part.strip() for part in raw.split(",") if part.strip())
+
+
+class Suppressions:
+    """Parsed suppression comments of one file."""
+
+    def __init__(self, by_line: Dict[int, FrozenSet[str]], file_wide: FrozenSet[str]):
+        self._by_line = by_line
+        self._file_wide = file_wide
+
+    @classmethod
+    def parse(cls, source: str) -> "Suppressions":
+        by_line: Dict[int, Set[str]] = {}
+        file_wide: Set[str] = set()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return cls({}, frozenset())
+        lines = source.splitlines()
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _MARKER.search(token.string)
+            if match is None:
+                continue
+            rules = _parse_rules(match.group("rules"))
+            if match.group("kind") == "disable-file":
+                file_wide |= rules
+                continue
+            lineno = token.start[0]
+            before = lines[lineno - 1][: token.start[1]] if lineno <= len(lines) else ""
+            target = lineno if before.strip() else _next_code_line(lines, lineno)
+            by_line.setdefault(target, set()).update(rules)
+        return cls(
+            {line: frozenset(rules) for line, rules in by_line.items()},
+            frozenset(file_wide),
+        )
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if "all" in self._file_wide or rule in self._file_wide:
+            return True
+        rules = self._by_line.get(line)
+        if rules is None:
+            return False
+        return "all" in rules or rule in rules
+
+
+def _next_code_line(lines, comment_line: int) -> int:
+    """First non-blank, non-comment line after a standalone comment."""
+    for offset, text in enumerate(lines[comment_line:], start=comment_line + 1):
+        stripped = text.strip()
+        if stripped and not stripped.startswith("#"):
+            return offset
+    return comment_line

@@ -19,6 +19,10 @@ Five commands cover the library's day-to-day uses:
 ``generate``
     Materialise a synthetic dataset (tpch or facebook) to a JSON database
     file for use with the other commands.
+``lint``
+    Run the project's static-analysis rules (privacy taint, staged
+    commit, cache invalidation, dispatch completeness, checked overflow,
+    no bare asserts) over a source tree; see ``docs/lint-rules.md``.
 
 ``sensitivity``, ``count``, ``explain`` and ``bench-session`` all go
 through one shared prepare step (:func:`repro.session.prepare`): load,
@@ -201,6 +205,35 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import Baseline, LintRunner, load_rules
+    from repro.analysis.reporters import render_json, render_rule_list, render_text
+
+    rules = load_rules(only=args.rules)
+    if args.list_rules:
+        print(render_rule_list(rules))
+        return 0
+    runner = LintRunner(rules)
+    paths = [Path(p) for p in (args.paths or ["src"])]
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if args.update_baseline:
+        if baseline_path is None:
+            raise ReproError("--update-baseline requires --baseline PATH")
+        findings = []
+        for path in runner.iter_python_files(paths):
+            findings.extend(runner.check_file(path))
+        count = Baseline.write(baseline_path, findings)
+        print(f"wrote {baseline_path} with {count} entr{'y' if count == 1 else 'ies'}")
+        return 0
+    baseline = Baseline.load(baseline_path) if baseline_path else None
+    result = runner.run(paths, baseline=baseline)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.clean else 1
+
+
 def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
     """Options every prepare-based command shares."""
     parser.add_argument("--query", required=True, help='e.g. "R(A,B), S(B,C)"')
@@ -299,6 +332,35 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--output", required=True)
     generate.set_defaults(handler=_cmd_generate)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the project's static-analysis rules"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="report format (default: %(default)s)",
+    )
+    lint.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON file; findings recorded there do not fail the run",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true", dest="update_baseline",
+        help="rewrite --baseline from the current findings (stale entries age out)",
+    )
+    lint.add_argument(
+        "--rules", nargs="*", default=None,
+        help="restrict to these rule ids (e.g. --rules R001 R006)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", dest="list_rules",
+        help="print the rule catalog and exit",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

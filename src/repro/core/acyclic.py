@@ -42,7 +42,7 @@ from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.gyo import gyo_join_tree
 from repro.query.jointree import DecompositionTree
 from repro.core.result import MultiplicityTable, SensitiveTuple, SensitivityResult
-from repro.exceptions import QueryStructureError
+from repro.exceptions import InternalError, QueryStructureError
 
 __all__ = [
     "best_witness",
@@ -85,7 +85,10 @@ def multiplicity_table(
     def part_value(part):
         if part.kind == "top":
             top = topjoins[part.key]
-            assert top is not None
+            if top is None:  # layouts never reference the root topjoin
+                raise InternalError(
+                    f"table layout references root topjoin {part.key}"
+                )
             return top
         if part.kind == "bot":
             return botjoins[part.key]

@@ -21,7 +21,7 @@ from repro.engine.database import Database
 from repro.engine.relation import Relation
 from repro.query.atoms import Atom
 from repro.query.conjunctive import ConjunctiveQuery
-from repro.exceptions import ReproError
+from repro.exceptions import InternalError, ReproError
 
 Literal = Tuple[int, bool]  # (variable index starting at 1, is_positive)
 Clause = Tuple[Literal, Literal, Literal]
@@ -126,7 +126,8 @@ def dpll(instance: ThreeSatInstance) -> Optional[Tuple[bool, ...]]:
     if solution is None:
         return None
     full = tuple(solution.get(v, False) for v in range(1, instance.num_variables + 1))
-    assert instance.evaluate(full)
+    if not instance.evaluate(full):
+        raise InternalError("solver returned a non-satisfying assignment")
     return full
 
 

@@ -32,7 +32,7 @@ from repro.query.classify import path_order
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.core.acyclic import best_witness, extrapolate_assignment
 from repro.core.result import MultiplicityTable, SensitiveTuple, SensitivityResult
-from repro.exceptions import QueryStructureError
+from repro.exceptions import InternalError, QueryStructureError
 
 _UNIT = Relation(Schema(()), {(): 1})  # zero-arity bag with count 1
 
@@ -106,7 +106,8 @@ def ls_path_join(
     for i, name in enumerate(order):
         incoming = topjoins[i]
         outgoing = botjoins[i + 1]
-        assert outgoing is not None
+        if outgoing is None:
+            raise InternalError(f"missing botjoin for path position {i + 1}")
         table = MultiplicityTable(name, (incoming, outgoing))
         tables[name] = table
         per_relation[name] = best_witness(table, query, db, name)

@@ -34,7 +34,7 @@ from repro.core.acyclic import (
     select_overall_witness,
 )
 from repro.core.result import SensitiveTuple, SensitivityResult
-from repro.exceptions import MechanismConfigError, QueryStructureError
+from repro.exceptions import InternalError, MechanismConfigError, QueryStructureError
 
 
 def clamp_to_top_k(relation: Relation, k: int) -> Relation:
@@ -108,7 +108,8 @@ def tsens_topk(
         if node_id == tree.root:
             continue
         parent = tree.parent(node_id)
-        assert parent is not None
+        if parent is None:
+            raise InternalError(f"non-root node {node_id} has no parent")
         parts: List[Relation] = [bound.relation(parent)]
         if topjoins[parent] is not None:
             parts.append(topjoins[parent])  # type: ignore[arg-type]

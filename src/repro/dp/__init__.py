@@ -2,6 +2,7 @@
 
 from repro.dp.accountant import BudgetAccountant
 from repro.dp.flexdp import FlexDPOutcome, run_flex_dp, smooth_elastic_sensitivity
+from repro.dp.marking import declassified
 from repro.dp.primitives import (
     above_threshold,
     laplace_confidence_radius,
@@ -23,6 +24,7 @@ __all__ = [
     "laplace_confidence_radius",
     "laplace_mechanism",
     "laplace_noise",
+    "declassified",
     "run_flex_dp",
     "run_privsql",
     "smooth_elastic_sensitivity",

@@ -41,6 +41,7 @@ from repro.engine.database import Database
 from repro.evaluation.yannakakis import count_query
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.jointree import DecompositionTree
+from repro.dp.marking import declassified
 from repro.dp.primitives import laplace_mechanism
 from repro.exceptions import MechanismConfigError
 
@@ -150,7 +151,7 @@ def run_flex_dp(
         smooth_sensitivity=smooth,
         beta=beta,
         peak_distance=peak,
-        true_count=true_count,
+        true_count=declassified(true_count, reason="debug field for experiments"),
         epsilon=epsilon,
         delta=delta,
     )

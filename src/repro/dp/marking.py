@@ -1,0 +1,38 @@
+"""Explicit declassification marker for the DP layer.
+
+The ``repro lint`` privacy-taint rule (R001) forbids values derived from
+the private database from leaving a public ``dp/`` function unless they
+pass through a :mod:`repro.dp.primitives` mechanism — or carry this
+marker, which records that the release is *intentional*: debugging
+fields of experiment outcomes (true counts, true sensitivities) that the
+experiment harness compares noisy answers against, or pre-DP utilities
+(truncation, tuple sensitivities) that are inputs to a mechanism rather
+than released answers.
+
+Usable three ways::
+
+    @declassified                       # whole function is non-private API
+    def tuple_sensitivities(...): ...
+
+    @declassified(reason="...")         # same, with a recorded rationale
+    def tsens_truncate(...): ...
+
+    true_count=declassified(count, reason="debug field")   # one value
+
+The marker is identity at runtime — it exists for the reader and the
+analyzer, not the interpreter.
+"""
+
+from __future__ import annotations
+
+
+def declassified(target=None, *, reason: str = ""):
+    """Mark a value or function as an intentional non-DP release."""
+    del reason  # documentation only; the analyzer keys on the name
+    if target is None:
+
+        def mark(obj):
+            return obj
+
+        return mark
+    return target

@@ -37,6 +37,7 @@ from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.jointree import DecompositionTree
 from repro.baselines.elastic import elastic_sensitivity, plan_from_tree
 from repro.dp.accountant import BudgetAccountant
+from repro.dp.marking import declassified
 from repro.dp.primitives import above_threshold, laplace_mechanism
 from repro.exceptions import MechanismConfigError
 
@@ -208,8 +209,8 @@ def run_privsql(
         answer=answer,
         global_sensitivity=global_sensitivity,
         thresholds=thresholds,
-        true_count=true_count,
-        truncated_count=truncated,
+        true_count=declassified(true_count, reason="debug field for experiments"),
+        truncated_count=declassified(truncated, reason="debug field for experiments"),
         epsilon=epsilon,
         ledger=accountant.ledger(),
     )

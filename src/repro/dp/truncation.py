@@ -28,9 +28,11 @@ from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.jointree import DecompositionTree
 from repro.core.api import local_sensitivity
 from repro.core.result import SensitivityResult
+from repro.dp.marking import declassified
 from repro.exceptions import MechanismConfigError
 
 
+@declassified(reason="pre-DP utility: input to a mechanism, not a release")
 def tuple_sensitivities(
     query: ConjunctiveQuery,
     db: Database,
@@ -60,6 +62,7 @@ def tuple_sensitivities(
     return sensitivities
 
 
+@declassified(reason="pre-DP utility: input to a mechanism, not a release")
 def tsens_truncate(
     query: ConjunctiveQuery,
     db: Database,
@@ -152,6 +155,7 @@ class TruncationOracle:
             )
 
     @property
+    @declassified(reason="diagnostic accessor; mechanisms only use it pre-DP")
     def local_sensitivity(self) -> int:
         """``LS(Q, D)`` as computed by TSens."""
         return self.sensitivity_result.local_sensitivity
@@ -192,6 +196,7 @@ class TruncationOracle:
         key = self._level_key(threshold)
         return self._base_count - self._suffix_removed[key + 1]
 
+    @declassified(reason="testing cross-check for truncated_count")
     def truncated_count_reevaluated(self, threshold: int) -> int:
         """``|Q(T_TSens(Q, D, threshold))|`` by actually re-running the
         query on the truncated database — the cross-check for

@@ -34,6 +34,7 @@ from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.jointree import DecompositionTree
 from repro.core.result import SensitivityResult
 from repro.dp.accountant import BudgetAccountant
+from repro.dp.marking import declassified
 from repro.dp.primitives import above_threshold, laplace_mechanism
 from repro.dp.truncation import TruncationOracle
 from repro.exceptions import MechanismConfigError
@@ -164,14 +165,14 @@ def run_tsens_dp(
     if clamp_nonnegative and answer < 0:
         answer = 0.0
 
-    true_count = oracle.base_count
+    true_count = declassified(oracle.base_count, reason="debug field for experiments")
     return TSensDPOutcome(
         answer=answer,
         tau=tau,
         global_sensitivity=tau,
         noisy_estimate=noisy_estimate,
         true_count=true_count,
-        truncated_count=truncated,
+        truncated_count=declassified(truncated, reason="debug field for experiments"),
         epsilon=epsilon,
         epsilon_threshold=epsilon_threshold,
         ledger=accountant.ledger(),

@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.engine.relation import same_bag_counts
 from repro.engine.schema import Schema
-from repro.exceptions import MultiplicityOverflowError, SchemaError
+from repro.exceptions import InternalError, MultiplicityOverflowError, SchemaError
 
 Row = Tuple[object, ...]
 
@@ -115,6 +115,20 @@ def _pair_products(left_mult: np.ndarray, right_mult: np.ndarray) -> np.ndarray:
             "backend; use the python backend for counts this large"
         )
     return exact.astype(np.int64)
+
+
+def _checked_scale(mult: np.ndarray, factor: int) -> np.ndarray:
+    """Multiplicities times a positive scalar, overflow-checked.
+
+    ``max * factor`` bounds every product, so unlike the pairwise helpers
+    no exact recomputation pass is needed — the bound tripping means some
+    actual slot overflows."""
+    if mult.size and int(mult.max()) * factor > _INT64_MAX:
+        raise MultiplicityOverflowError(
+            "scale_counts would overflow int64 multiplicities on the "
+            "columnar backend; use the python backend"
+        )
+    return mult * np.int64(factor)
 
 
 def _group_sums(inverse: np.ndarray, mult: np.ndarray, n_groups: int) -> np.ndarray:
@@ -205,7 +219,8 @@ def intersect_column_values(
         )
         if codes.size == 0:
             break
-    assert codes is not None
+    if codes is None:
+        raise InternalError("intersect_column_values called with no relations")
     values = vocab.values
     return frozenset(values[c] for c in codes.tolist())
 
@@ -580,7 +595,8 @@ class ColumnarRelation:
                 return None
             hit = column == code
             mask = hit if mask is None else (mask & hit)
-        assert mask is not None
+        if mask is None:
+            raise InternalError("_row_index reached an empty column set")
         index = np.nonzero(mask)[0]
         return int(index[0]) if index.size else None
 
@@ -696,13 +712,8 @@ class ColumnarRelation:
         """Multiply every multiplicity by a positive integer ``factor``."""
         if factor <= 0:
             raise SchemaError(f"scale factor must be positive, got {factor}")
-        if _max_mult(self) * factor > _INT64_MAX:
-            raise MultiplicityOverflowError(
-                "scale_counts would overflow int64 multiplicities on the "
-                "columnar backend; use the python backend"
-            )
         return ColumnarRelation._from_parts(
-            self._schema, self._codes, self._mult * np.int64(factor), vocab=self._vocab
+            self._schema, self._codes, _checked_scale(self._mult, factor), vocab=self._vocab
         )
 
     # ------------------------------------------------------------- comparison

@@ -192,7 +192,7 @@ class IncrementalEvaluator:
             self._components.append(component)
             for relation in sub.relation_names:
                 self._component_of[relation] = index
-        self._refresh_totals()
+        self._commit_totals()
 
     # -------------------------------------------------------------- building
     @staticmethod
@@ -275,7 +275,16 @@ class IncrementalEvaluator:
         component.stale_parents.clear()
         component.stale_other_nodes.clear()
 
-    def _refresh_totals(self) -> None:
+    def _commit(self, new_db: Database) -> None:
+        """Fold a fully-staged update into committed state.
+
+        Rebinding the database and refreshing the derived totals happen
+        here and nowhere else (enforced by lint rule R002), so no fallible
+        staging step can leave them disagreeing."""
+        self._db = new_db
+        self._commit_totals()
+
+    def _commit_totals(self) -> None:
         total = 1
         for component in self._components:
             total *= component.count
@@ -418,8 +427,7 @@ class IncrementalEvaluator:
         for other in self._components:
             if other is not component:
                 other.state.drop_domain_dependent_witnesses(updated_columns)
-        self._db = new_db
-        self._refresh_totals()
+        self._commit(new_db)
         return self._base_count
 
     @staticmethod

@@ -59,7 +59,7 @@ from repro.evaluation.yannakakis import (
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.jointree import DecompositionTree
 from repro.core.result import MultiplicityTable
-from repro.exceptions import QueryStructureError
+from repro.exceptions import InternalError, QueryStructureError
 
 
 def effective_attributes(
@@ -280,6 +280,9 @@ class JoinState:
     def topjoins(self) -> Dict[str, Optional[Relation]]:
         """All topjoins ``J(v)``, built on first use, maintained after."""
         if self._topjoins is None:
+            # First materialisation from committed botjoins — there is no
+            # staged predecessor state for an update to corrupt.
+            # repro-lint: disable=R002 -- lazy first build, not an update
             self._topjoins = compute_topjoins(self.bound, self.botjoins)
         return self._topjoins
 
@@ -291,7 +294,8 @@ class JoinState:
     def _part_value(self, part: _TablePart) -> Relation:
         if part.kind == "top":
             top = self.topjoins()[part.key]
-            assert top is not None  # layouts never reference the root topjoin
+            if top is None:  # layouts never reference the root topjoin
+                raise InternalError(f"table layout references root topjoin {part.key}")
             return top
         if part.kind == "bot":
             return self.botjoins[part.key]
@@ -300,6 +304,8 @@ class JoinState:
     def multiplicity_table(self, relation: str) -> MultiplicityTable:
         """``T^i`` for one relation — built once, patched under updates."""
         if relation not in self._tables:
+            # Same lazy-first-build exemption as topjoins() above.
+            # repro-lint: disable=R002 -- lazy first build, not an update
             self._tables[relation] = build_table(
                 self.layout(relation), self._part_value
             )
@@ -437,9 +443,38 @@ class JoinState:
                 if patched is not None:
                     staged_tables[rel] = patched
 
-        # ----- commit (dict assignments only; nothing below raises)
-        bound.atom_relations[relation] = new_atom
-        bound.node_relations[node_id] = new_node_relation
+        self._commit(
+            relation,
+            node_id,
+            new_atom,
+            new_node_relation,
+            staged_botjoins,
+            staged_topjoins,
+            staged_tables,
+        )
+        return AppliedUpdate(
+            relation, node_id, False, tuple(staged_botjoins), multi_atom
+        )
+
+    def _commit(
+        self,
+        relation: str,
+        node_id: str,
+        new_atom: Relation,
+        new_node_relation: Relation,
+        staged_botjoins: Dict[str, Relation],
+        staged_topjoins: Dict[str, Relation],
+        staged_tables: Dict[str, MultiplicityTable],
+    ) -> None:
+        """Fold fully-staged update structures into committed state.
+
+        Dict assignments only; nothing here raises, so a failure anywhere
+        in staging leaves every committed structure at its pre-update
+        value.  Committed attributes are assigned here and in ``__init__``
+        only (enforced by lint rule R002).
+        """
+        self.bound.atom_relations[relation] = new_atom
+        self.bound.node_relations[node_id] = new_node_relation
         for changed, botjoin in staged_botjoins.items():
             self.botjoins[changed] = botjoin
         if self._topjoins is not None:
@@ -453,9 +488,6 @@ class JoinState:
         # too — within this component; the evaluator repeats this for the
         # other components of a disconnected query.
         self.drop_domain_dependent_witnesses(self._base_columns[relation])
-        return AppliedUpdate(
-            relation, node_id, False, tuple(staged_botjoins), multi_atom
-        )
 
     def _stage_topjoin_deltas(
         self,
@@ -485,7 +517,8 @@ class JoinState:
         tree = self.tree
         bound = self.bound
         topjoins = self._topjoins
-        assert topjoins is not None
+        if topjoins is None:
+            raise InternalError("topjoin staging requires materialised topjoins")
         pending: List[str] = []
 
         def stage(target: str, dj: Relation) -> None:

@@ -26,6 +26,7 @@ from repro.engine.relation import Relation
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.ghd import auto_decompose
 from repro.query.jointree import DecompositionTree
+from repro.exceptions import InternalError
 
 
 @dataclass
@@ -118,7 +119,8 @@ def compute_topjoins(
         if node_id == tree.root:
             continue
         parent = tree.parent(node_id)
-        assert parent is not None
+        if parent is None:
+            raise InternalError(f"non-root node {node_id} has no parent")
         parts: List[Relation] = [bound.relation(parent)]
         parent_top = topjoins[parent]
         if parent_top is not None:
@@ -163,7 +165,8 @@ def evaluate_bound(bound: BoundTree) -> Relation:
     for node_id in bound.tree.pre_order():
         rel = reduced[node_id]
         result = rel if result is None else join(result, rel)
-    assert result is not None
+    if result is None:
+        raise InternalError("bound query has no nodes to evaluate")
     return result
 
 
@@ -216,7 +219,8 @@ def evaluate_query(
     for sub, sub_tree in _component_trees(query, tree):
         part = evaluate_bound(bind(sub, sub_tree, db))
         result = part if result is None else join(result, part)
-    assert result is not None
+    if result is None:
+        raise InternalError("query has no connected components to evaluate")
     return result
 
 

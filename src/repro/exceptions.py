@@ -73,8 +73,13 @@ class MultiplicityOverflowError(ReproError):
     The python backend (arbitrary-precision ints) handles such inputs."""
 
 
-class MechanismConfigError(ReproError):
-    """A DP mechanism received inconsistent configuration parameters."""
+class MechanismConfigError(ReproError, ValueError):
+    """A DP mechanism received inconsistent configuration parameters.
+
+    Also a :class:`ValueError`: an ``epsilon <= 0`` or ``scale <= 0`` is a
+    plain bad argument, and callers outside the library naturally reach
+    for ``except ValueError``.
+    """
 
 
 class SessionError(ReproError):
@@ -82,3 +87,13 @@ class SessionError(ReproError):
 
     Examples: an update-stream element whose op is neither ``"insert"``
     nor ``"delete"``."""
+
+
+class InternalError(ReproError):
+    """An internal invariant of the library was violated.
+
+    Replaces bare ``assert`` statements in library code paths: unlike an
+    assert, the check survives ``python -O`` and the message reaches the
+    caller.  Seeing this exception always indicates a bug in ``repro``
+    itself, not in its inputs.
+    """

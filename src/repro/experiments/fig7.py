@@ -15,6 +15,7 @@ from repro.experiments.fig6a import DEFAULT_SCALES, Q3_MAX_SCALE
 from repro.experiments.reporting import format_table, ratio
 from repro.experiments.runner import measure_workload, tpch_database
 from repro.workloads.tpch_queries import tpch_workloads
+from repro.exceptions import InternalError
 
 
 def run(
@@ -44,7 +45,8 @@ def run(
                     best.evaluation_seconds = min(
                         best.evaluation_seconds, m.evaluation_seconds
                     )
-            assert best is not None
+            if best is None:
+                raise InternalError("no method produced a measurement")
             rows.append(
                 {
                     "scale": scale,

@@ -23,6 +23,7 @@ from repro.dp.tsensdp import run_tsens_dp
 from repro.experiments.reporting import format_table, median
 from repro.experiments.runner import facebook_database
 from repro.workloads.facebook_queries import star_workload
+from repro.exceptions import MechanismConfigError
 
 #: The paper's sweep {1, 10, 30, 50, 100, 1000} extended upward: our
 #: synthetic q★ instance has a larger true local sensitivity than the
@@ -42,7 +43,10 @@ def run(
     """Run the ℓ sweep; one row per bound."""
     workload = star_workload()
     db = workload.prepared(facebook_database(seed))
-    assert workload.primary is not None
+    if workload.primary is None:
+        raise MechanismConfigError(
+            f"workload {workload.name} declares no primary private relation"
+        )
     oracle = TruncationOracle(
         query=workload.query, db=db, primary=workload.primary, tree=workload.tree
     )

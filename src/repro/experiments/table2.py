@@ -27,6 +27,7 @@ from repro.experiments.runner import facebook_database, tpch_database
 from repro.workloads.base import Workload
 from repro.workloads.facebook_queries import facebook_workloads
 from repro.workloads.tpch_queries import tpch_workloads
+from repro.exceptions import MechanismConfigError
 
 DEFAULT_TPCH_SCALE = 0.001
 DEFAULT_EPSILON = 1.0
@@ -58,7 +59,10 @@ def _run_workload(
     seed: int,
 ) -> List[Mapping[str, object]]:
     db = workload.prepared(base)
-    assert workload.primary is not None
+    if workload.primary is None:
+        raise MechanismConfigError(
+            f"workload {workload.name} declares no primary private relation"
+        )
     rng = np.random.default_rng(seed)
 
     # One prepared session per workload: the sensitivity pass and the

@@ -19,7 +19,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.hypergraph import Hypergraph
 from repro.query.jointree import DecompositionTree, join_tree_from_parents
-from repro.exceptions import NotAcyclicError, QueryStructureError
+from repro.exceptions import InternalError, NotAcyclicError, QueryStructureError
 
 
 def _find_ear(edges: Dict[str, FrozenSet[str]]) -> Optional[Tuple[str, Optional[str]]]:
@@ -95,8 +95,9 @@ def gyo_join_tree(query: ConjunctiveQuery) -> DecompositionTree:
     parent: Dict[str, str] = {}
     root = eliminations[-1][0]
     for ear, witness in eliminations[:-1]:
-        # Connected + acyclic guarantees every non-final ear has a witness.
-        assert witness is not None
+        if witness is None:
+            # Connected + acyclic guarantees every non-final ear a witness.
+            raise InternalError(f"ear {ear} eliminated without a witness")
         parent[ear] = witness
     return join_tree_from_parents(query, root, parent)
 

@@ -60,7 +60,7 @@ from repro.core.naive import naive_local_sensitivity
 from repro.core.path import ls_path_join
 from repro.core.result import SensitiveTuple, SensitivityResult
 from repro.core.topk import tsens_topk
-from repro.exceptions import MechanismConfigError, SessionError
+from repro.exceptions import InternalError, MechanismConfigError, SessionError
 
 #: Mechanisms the :meth:`PreparedQuery.release` facade dispatches over.
 RELEASE_MECHANISMS: Tuple[str, ...] = ("tsensdp", "flexdp", "privsql")
@@ -589,8 +589,18 @@ class PreparedQuery:
         return count
 
     def _after_mutation(self, n: int = 1) -> None:
-        assert self._evaluator is not None
+        if self._evaluator is None:
+            raise InternalError("mutation applied before the evaluator was built")
         self._db = self._evaluator.db
         self._updates_applied += n
+        self._invalidate_caches()
+
+    def _invalidate_caches(self) -> None:
+        """Drop every cache keyed against the pre-mutation database.
+
+        Lint rule R003 requires any method that rebinds the tracked
+        database field to route through this helper, so a new cache can
+        never be forgotten at one of the mutation sites.
+        """
         self._results.clear()
         self._oracles.clear()

@@ -1,0 +1,24 @@
+"""Known-good for R001: counts leave only through a mechanism or marker.
+
+Fixture only — parsed by the analyzer, never imported or executed.
+"""
+
+
+def release_count(query, db, epsilon, rng):
+    true_count = count_query(query, db)
+    return laplace_mechanism(true_count, 1.0, epsilon, rng)
+
+
+def release_debug(query, db):
+    return declassified(count_query(query, db), reason="experiment diagnostics")
+
+
+@declassified(reason="pre-DP utility")
+def raw_count(query, db):
+    return count_query(query, db)
+
+
+def _internal_count(query, db):
+    # Private helpers are outside the rule's scope: they are not the
+    # module's release surface.
+    return count_query(query, db)

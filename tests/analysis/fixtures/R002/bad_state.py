@@ -1,0 +1,17 @@
+"""Known-bad for R002: committed state assigned outside a commit method.
+
+Fixture only — parsed by the analyzer, never imported or executed.
+"""
+
+
+class JoinState:
+    def apply_update(self, relation, row, insert):
+        delta = self._stage(relation, row, insert)
+        self.botjoins[relation] = delta  # committed write mid-update
+        self._tables = {}  # and another one
+
+
+class IncrementalEvaluator:
+    def apply_insert(self, relation, row):
+        self._db = self._db.with_relation(relation, row)  # no commit method
+        return self._base_count

@@ -1,0 +1,31 @@
+"""Known-good for R002: staged writes, committed only in commit methods.
+
+Fixture only — parsed by the analyzer, never imported or executed.
+"""
+
+
+class JoinState:
+    def __init__(self, bound):
+        self.bound = bound
+        self.botjoins = {}
+        self._topjoins = None
+        self._tables = {}
+
+    def apply_update(self, relation, row, insert):
+        self._staged_botjoins = {relation: self._stage(relation, row, insert)}
+        self._commit()
+
+    def _commit(self):
+        for key, value in self._staged_botjoins.items():
+            self.botjoins[key] = value
+
+
+class IncrementalEvaluator:
+    def apply_insert(self, relation, row):
+        staged_db = self._db.with_relation(relation, row)
+        self._commit_totals(staged_db)
+        return self._base_count
+
+    def _commit_totals(self, new_db):
+        self._db = new_db
+        self._base_count = self._count(new_db)

@@ -1,0 +1,18 @@
+"""Known-bad for R003: session mutations without cache invalidation.
+
+Fixture only — parsed by the analyzer, never imported or executed.
+"""
+
+
+class PreparedQuery:
+    def apply(self, update):
+        self._db = self._apply_update(self._db, update)  # caches now stale
+        return self._db
+
+    def reset(self, db, refresh=False):
+        self._db = db
+        if refresh:  # invalidation happens on one path only
+            self._invalidate_caches()
+
+    def _invalidate_caches(self):
+        self._results.clear()

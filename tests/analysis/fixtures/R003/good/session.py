@@ -1,0 +1,21 @@
+"""Known-good for R003: every mutation routes through the helper.
+
+Fixture only — parsed by the analyzer, never imported or executed.
+"""
+
+
+class PreparedQuery:
+    def __init__(self, db):
+        self._db = db
+        self._results = {}
+
+    def apply(self, update):
+        self._db = self._apply_update(self._db, update)
+        self._invalidate_caches()
+        return self._db
+
+    def count(self):
+        return self._count(self._db)  # read-only: no invalidation needed
+
+    def _invalidate_caches(self):
+        self._results.clear()

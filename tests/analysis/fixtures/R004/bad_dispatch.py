@@ -1,0 +1,10 @@
+"""Known-bad for R004: backend branch with no fallback.
+
+Fixture only — parsed by the analyzer, never imported or executed.
+"""
+
+
+def join(left, right):
+    if isinstance(left, ColumnarRelation):
+        return columnar_join(left, right)
+    # function ends: dict-backend relations silently get None

@@ -1,0 +1,22 @@
+"""Known-good for R004: both backends handled, three acceptable shapes.
+
+Fixture only — parsed by the analyzer, never imported or executed.
+"""
+
+
+def join(left, right):
+    if isinstance(left, ColumnarRelation):
+        return columnar_join(left, right)
+    return dict_join(left, right)  # trailing fallback
+
+
+def union(left, right):
+    if isinstance(left, ColumnarRelation):
+        return columnar_union(left, right)
+    else:
+        return dict_union(left, right)  # explicit else arm
+
+
+def project(relation, attributes):
+    if isinstance(relation, ColumnarRelation):
+        return backend_for(relation).project(relation, attributes)  # registry

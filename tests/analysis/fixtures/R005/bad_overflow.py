@@ -1,0 +1,17 @@
+"""Known-bad for R005: raw arithmetic on multiplicity columns.
+
+Fixture only — parsed by the analyzer, never imported or executed.
+"""
+
+
+def scale(relation, factor):
+    return relation._mult * factor  # silent int64 wrap on overflow
+
+
+def combine(left_mult, right_mult):
+    products = left_mult * right_mult
+    return products
+
+
+def bump(relation, delta):
+    relation._mult += delta  # augmented form wraps too

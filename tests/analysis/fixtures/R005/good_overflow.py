@@ -1,0 +1,21 @@
+"""Known-good for R005: multiplicity arithmetic via the checked helpers.
+
+Fixture only — parsed by the analyzer, never imported or executed.
+"""
+
+
+def scale(relation, factor):
+    return _checked_scale(relation._mult, factor)
+
+
+def combine(left_mult, right_mult):
+    return _pair_products(left_mult, right_mult)
+
+
+def totals(inverse, mult, n_groups):
+    return _group_sums(inverse, mult, n_groups)
+
+
+def unrelated(current, multiplicity):
+    # Names outside the multiplicity vocabulary stay unflagged.
+    return current + multiplicity

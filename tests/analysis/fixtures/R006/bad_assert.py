@@ -1,0 +1,10 @@
+"""Known-bad for R006: a bare assert guards a library invariant.
+
+Fixture only — parsed by the analyzer, never imported or executed.
+"""
+
+
+def pick_parent(tree, node_id):
+    parent = tree.parent(node_id)
+    assert parent is not None  # vanishes under python -O
+    return parent

@@ -1,0 +1,11 @@
+"""Known-good for R006: invariants raise real exceptions.
+
+Fixture only — parsed by the analyzer, never imported or executed.
+"""
+
+
+def pick_parent(tree, node_id):
+    parent = tree.parent(node_id)
+    if parent is None:
+        raise InternalError(f"non-root node {node_id} has no parent")
+    return parent

@@ -106,3 +106,34 @@ class TestAboveThreshold:
     def test_invalid_epsilon(self):
         with pytest.raises(MechanismConfigError):
             above_threshold([1.0], 0.0, epsilon=-1.0, rng=np.random.default_rng(0))
+
+
+class TestParameterValidationAsValueError:
+    """Mechanism parameter validation doubles as plain ValueError (so
+    callers outside the library can catch it without importing repro)."""
+
+    def test_mechanism_config_error_is_value_error(self):
+        assert issubclass(MechanismConfigError, ValueError)
+
+    def test_zero_scale_raises_value_error(self):
+        with pytest.raises(ValueError):
+            laplace_noise(0.0, np.random.default_rng(0))
+
+    def test_negative_scale_raises_value_error(self):
+        with pytest.raises(ValueError):
+            laplace_noise(-1.0, np.random.default_rng(0))
+
+    def test_zero_epsilon_raises_value_error(self):
+        with pytest.raises(ValueError):
+            laplace_mechanism(1.0, 1.0, 0.0, np.random.default_rng(0))
+
+    def test_negative_epsilon_above_threshold(self):
+        with pytest.raises(ValueError):
+            above_threshold(
+                iter([1.0]), threshold=0.0, epsilon=-1.0,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_zero_scale_confidence_radius(self):
+        with pytest.raises(ValueError):
+            laplace_confidence_radius(0.0, 0.9)
