@@ -12,6 +12,7 @@ times so the performance trajectory of both backends is tracked over time
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -19,7 +20,11 @@ import pytest
 
 from repro.datasets import generate_ego_network, generate_tpch
 
-TPCH_SCALE = 0.0005
+#: Default TPC-H scale for the ``tpch_base`` fixture — raised 10× (0.0005 →
+#: 0.005) when sharded execution landed, so the heavy joins are big enough
+#: for fan-out to bite.  Override per run with ``--tpch-scale`` or the
+#: ``REPRO_TPCH_SCALE`` environment variable.
+TPCH_SCALE = float(os.environ.get("REPRO_TPCH_SCALE", "0.005"))
 SEED = 0
 
 
@@ -30,6 +35,15 @@ def pytest_addoption(parser):
         default="python",
         choices=("python", "columnar"),
         help="execution backend the benchmark fixtures materialise data on",
+    )
+    parser.addoption(
+        "--tpch-scale",
+        action="store",
+        type=float,
+        default=TPCH_SCALE,
+        dest="tpch_scale",
+        help="TPC-H scale factor for the tpch_base fixture "
+             "(default: %(default)s, or REPRO_TPCH_SCALE)",
     )
 
 
@@ -43,8 +57,13 @@ def backend(request):
 
 
 @pytest.fixture(scope="session")
-def tpch_base(backend):
-    return generate_tpch(TPCH_SCALE, seed=SEED, backend=backend)
+def tpch_scale(request):
+    return request.config.getoption("tpch_scale")
+
+
+@pytest.fixture(scope="session")
+def tpch_base(backend, tpch_scale):
+    return generate_tpch(tpch_scale, seed=SEED, backend=backend)
 
 
 @pytest.fixture(scope="session")
@@ -100,7 +119,7 @@ def pytest_sessionfinish(session, exitstatus):
     timings.update({node: round(t, 6) for node, t in times.items()})
     payload = {
         "backend": backend,
-        "tpch_scale": TPCH_SCALE,
+        "tpch_scale": config.getoption("tpch_scale"),
         "seed": SEED,
         "timings_seconds": dict(sorted(timings.items())),
     }

@@ -19,6 +19,8 @@ from repro.engine.backend import (
 )
 from repro.engine.columnar import ColumnarRelation, reset_vocabulary
 from repro.engine.database import Database, ForeignKey
+from repro.engine.parallel import ParallelContext, WorkerPool, default_worker_count
+from repro.engine.sharding import ShardMap, ShardedRelation
 from repro.engine.operators import (
     cross_product,
     difference,
@@ -42,10 +44,15 @@ __all__ = [
     "DEFAULT_BACKEND",
     "Database",
     "ForeignKey",
+    "ParallelContext",
     "Relation",
     "Schema",
+    "ShardMap",
+    "ShardedRelation",
+    "WorkerPool",
     "backend_of",
     "cross_product",
+    "default_worker_count",
     "difference",
     "empty_like",
     "get_backend",

@@ -31,7 +31,21 @@ remain available for adversarial inputs).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+import itertools
+import weakref
+from collections import OrderedDict
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -45,6 +59,12 @@ _EMPTY_INT64 = np.empty(0, dtype=np.int64)
 _INT64_MAX = 2**63 - 1
 
 
+#: Monotonic ids for vocabularies created in this process.  A vocabulary's
+#: ``generation`` travels with it through pickling, so shard workers can
+#: tell codes from different coordinator vocabularies apart.
+_VOCAB_GENERATIONS = itertools.count()
+
+
 class _Vocabulary:
     """Process-wide value dictionary: every attribute value maps to one code.
 
@@ -53,13 +73,27 @@ class _Vocabulary:
     per-column dictionaries.  Values that compare equal (``1``, ``1.0``,
     ``True``) share a code, matching Python-dict key semantics of the
     Python backend.
+
+    A vocabulary's state is exactly its ordered ``values`` list (``code_of``
+    is the derived inverse) plus a process-unique ``generation`` id, and it
+    pickles as that pair — sharded worker processes rebuild an equivalent
+    read-only dictionary from it (:mod:`repro.engine.parallel`).
     """
 
-    __slots__ = ("code_of", "values")
+    __slots__ = ("code_of", "values", "generation", "__weakref__")
 
-    def __init__(self) -> None:
-        self.code_of: Dict[object, int] = {}
-        self.values: List[object] = []
+    def __init__(
+        self,
+        values: Optional[Sequence[object]] = None,
+        generation: Optional[int] = None,
+    ) -> None:
+        self.values: List[object] = list(values) if values is not None else []
+        self.code_of: Dict[object, int] = {
+            value: code for code, value in enumerate(self.values)
+        }
+        self.generation: int = (
+            next(_VOCAB_GENERATIONS) if generation is None else generation
+        )
 
     def encode(self, value: object) -> int:
         code = self.code_of.get(value)
@@ -73,8 +107,32 @@ class _Vocabulary:
         """Code of ``value`` or ``None`` when never seen (multiplicity 0)."""
         return self.code_of.get(value)
 
+    def __reduce__(self):
+        return (_restore_vocabulary, (self.values, self.generation))
+
+
+def _restore_vocabulary(values: Sequence[object], generation: int) -> "_Vocabulary":
+    """Unpickle hook: rebuild a vocabulary from its explicit state."""
+    return _Vocabulary(values=values, generation=generation)
+
 
 _VOCAB = _Vocabulary()
+
+#: Hooks run *before* :func:`reset_vocabulary` swaps the dictionary.  A hook
+#: may raise to veto the reset — the sharded execution layer registers one
+#: so a reset cannot silently invalidate codes already exported to worker
+#: processes (see :mod:`repro.engine.parallel`).
+_RESET_GUARDS: List[Callable[[], None]] = []
+
+
+def register_reset_guard(guard: Callable[[], None]) -> None:
+    """Register a veto hook consulted by :func:`reset_vocabulary`."""
+    _RESET_GUARDS.append(guard)
+
+
+def current_vocabulary() -> _Vocabulary:
+    """The live process vocabulary new relations encode under."""
+    return _VOCAB
 
 
 def reset_vocabulary() -> None:
@@ -87,7 +145,18 @@ def reset_vocabulary() -> None:
     Existing relations stay valid: each keeps a reference to the
     vocabulary it was encoded under, and operators transparently re-encode
     when operands disagree.
+
+    Raises
+    ------
+    InternalError
+        When a registered guard vetoes the reset — e.g. a sharded
+        :class:`~repro.engine.parallel.ParallelContext` has exported code
+        arrays to worker processes, which would silently decode stale
+        codes under a fresh dictionary.  Guards run before the swap, so a
+        vetoed reset leaves the vocabulary untouched.
     """
+    for guard in _RESET_GUARDS:
+        guard()
     global _VOCAB
     _VOCAB = _Vocabulary()
 
@@ -322,6 +391,52 @@ def _pack_keys(
     return inverse[:split], inverse[split:]
 
 
+#: Sorted-key memo for :func:`_match_pairs`, keyed by key-array identity.
+#: Code columns are immutable once built (bag updates copy), so a key
+#: array's sort permutation can be reused every time the same keyed side
+#: is probed again — repeated joins against one cached relation (benchmark
+#: loops, maintained-state folds re-probing botjoins) skip the argsort.
+#: Entries hold a weakref so a dead array's slot is reclaimed; the id()
+#: key is validated against the weakref before use in case ids get reused.
+_SORT_CACHE: "OrderedDict[int, Tuple[weakref.ref, np.ndarray, np.ndarray]]" = (
+    OrderedDict()
+)
+_SORT_CACHE_MIN_SIZE = 1024
+_SORT_CACHE_MAX_ENTRIES = 32
+
+
+def _sorted_key(key: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(argsort(key), key[argsort(key)])``, memoized per array object.
+
+    Only owning arrays at least :data:`_SORT_CACHE_MIN_SIZE` long are
+    cached: small sorts are cheaper than the bookkeeping, and views
+    (``key.base is not None`` — e.g. shared-memory shard columns whose
+    buffer lifetime is managed elsewhere) are excluded so cache entries
+    never pin or outlive foreign buffers.
+    """
+    if key.size < _SORT_CACHE_MIN_SIZE or key.base is not None:
+        order = np.argsort(key, kind="stable")
+        return order, key[order]
+    slot = id(key)
+    entry = _SORT_CACHE.get(slot)
+    if entry is not None:
+        ref, order, sorted_key = entry
+        if ref() is key:
+            _SORT_CACHE.move_to_end(slot)
+            return order, sorted_key
+        del _SORT_CACHE[slot]
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    try:
+        ref = weakref.ref(key)
+    except TypeError:
+        return order, sorted_key
+    _SORT_CACHE[slot] = (ref, order, sorted_key)
+    while len(_SORT_CACHE) > _SORT_CACHE_MAX_ENTRIES:
+        _SORT_CACHE.popitem(last=False)
+    return order, sorted_key
+
+
 def _match_pairs(lkey: np.ndarray, rkey: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Index pairs ``(lidx, ridx)`` with ``lkey[lidx] == rkey[ridx]``.
 
@@ -331,12 +446,13 @@ def _match_pairs(lkey: np.ndarray, rkey: np.ndarray) -> Tuple[np.ndarray, np.nda
     arithmetic.  Sorting the smaller side matters for the maintained
     join-state folds, whose joins are one tiny delta against one large
     cached relation — argsorting the large side would dominate the probe.
+    The argsort itself is memoized per key array (:func:`_sorted_key`), so
+    repeatedly probing the same keyed side sorts once.
     """
     if lkey.size < rkey.size:
         ridx, lidx = _match_pairs(rkey, lkey)
         return lidx, ridx
-    order = np.argsort(rkey, kind="stable")
-    sorted_r = rkey[order]
+    order, sorted_r = _sorted_key(rkey)
     start = np.searchsorted(sorted_r, lkey, side="left")
     stop = np.searchsorted(sorted_r, lkey, side="right")
     counts = stop - start

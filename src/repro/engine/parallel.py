@@ -1,0 +1,673 @@
+"""Persistent worker pool fanning columnar kernels across hash shards.
+
+:class:`ParallelContext` is the sharded-execution front end the evaluation
+layer talks to.  With ``workers=1`` (the default everywhere) every method
+falls through to the serial operators in :mod:`repro.engine.operators`, so
+the context is free and behavior is bit-identical to a build without this
+module.  With ``workers=N`` it keeps ``N`` long-lived worker processes and
+implements:
+
+* ``join`` / ``join_group`` — co-partition both operands on a shared join
+  attribute (:mod:`repro.engine.sharding`), run the vectorized join (with
+  the final group-by fused into the worker) per shard, and reduce the
+  partials on the coordinator.  When the grouping drops the partition
+  attribute the shard outputs are *partial* group sums and are regrouped
+  with the overflow-checked union kernel; otherwise they are disjoint and
+  simply concatenate.
+* ``group_by`` — partition on a grouping attribute; disjoint partials.
+* ``semijoin`` — co-partition on a shared attribute; disjoint survivors.
+* ``filter`` — row-block partition; workers need real dictionary values
+  for selection predicates, so the vocabulary is incrementally replicated
+  to workers first (append-only, so replication is a suffix send).
+
+Exactness: hash co-partitioning sends every joinable pair of rows to the
+same shard, every output row retains the partition attribute (so shard
+outputs are disjoint), and regrouped partials go through the same
+overflow-checked ``union_all`` kernel the serial fold uses.  Order may
+differ from the serial plan, but relations are bags — every consumer above
+the engine is order-independent — so counts, sensitivities and tie-breaks
+agree exactly.  The property suite
+``tests/property/test_sharded_equivalence.py`` pins this.
+
+Vocabulary discipline: workers receive *read-only* vocabulary replicas —
+``encode`` raises :class:`~repro.exceptions.InternalError`, so no worker
+can mutate the shared dictionary — and
+:func:`~repro.engine.columnar.reset_vocabulary` is vetoed while any live
+context has pinned a vocabulary, because shard codes already exported to
+workers would silently decode against the wrong dictionary.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine import columnar as _columnar
+from repro.engine import operators as _operators
+from repro.engine.columnar import ColumnarRelation, _Vocabulary
+from repro.engine.relation import Relation
+from repro.engine.sharding import (
+    ShardMap,
+    ShardedRelation,
+    decode_relation,
+    encode_result,
+    import_result,
+    release_result,
+)
+from repro.exceptions import InternalError, SessionError
+
+#: Below this many distinct rows (larger operand) a fan-out costs more in
+#: partitioning + IPC than the kernel itself; run serial instead.
+DEFAULT_MIN_SHARD_ROWS = 8192
+
+
+def default_worker_count() -> int:
+    """Worker count matching the cores this process may run on."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without affinity (macOS)
+        return max(1, os.cpu_count() or 1)
+
+
+# ================================================================ worker side
+class _FrozenVocabulary(_Vocabulary):
+    """A worker's read-only vocabulary replica.
+
+    Decoding (``values``/``lookup``) works on whatever prefix has been
+    replicated; ``encode`` always raises — workers must never mint codes,
+    or the same value could get different codes in different processes and
+    joins would silently drop rows.
+    """
+
+    __slots__ = ()
+
+    def encode(self, value: object) -> int:
+        raise InternalError(
+            "sharded worker attempted to encode a new value into the shared "
+            "vocabulary; all encoding must happen on the coordinator"
+        )
+
+
+#: Per-worker-process vocabulary replicas, keyed by coordinator generation.
+_WORKER_VOCABS: Dict[int, _FrozenVocabulary] = {}
+
+
+def _worker_vocab(generation: int) -> _FrozenVocabulary:
+    vocab = _WORKER_VOCABS.get(generation)
+    if vocab is None:
+        vocab = _FrozenVocabulary(generation=generation)
+        _WORKER_VOCABS[generation] = vocab
+    return vocab
+
+
+def _extend_worker_vocab(generation: int, start: int, values: Sequence[object]) -> None:
+    vocab = _worker_vocab(generation)
+    if len(vocab.values) != start:
+        raise InternalError(
+            f"vocabulary replica out of sync: worker has {len(vocab.values)} "
+            f"values, coordinator sent suffix starting at {start}"
+        )
+    for value in values:
+        vocab.code_of[value] = len(vocab.values)
+        vocab.values.append(value)
+
+
+def _silence_shm_resource_tracking() -> None:
+    """Detach shared-memory segments from this process's resource tracker.
+
+    Workers only *attach* segments the coordinator owns; letting the
+    tracker register them makes it unlink blocks still in use and spam
+    leak warnings at exit (the well-known attach-side tracker problem,
+    fixed upstream only in 3.13's ``track=False``).
+    """
+    from multiprocessing import resource_tracker
+
+    register = resource_tracker.register
+    unregister = resource_tracker.unregister
+
+    def _register(name, rtype):
+        if rtype != "shared_memory":
+            register(name, rtype)
+
+    def _unregister(name, rtype):
+        if rtype != "shared_memory":
+            unregister(name, rtype)
+
+    resource_tracker.register = _register
+    resource_tracker.unregister = _unregister
+
+
+def _kernel_join(payload, resolve):
+    left = resolve(payload["left"])
+    right = resolve(payload["right"])
+    out = _operators.join(left, right)
+    group = payload.get("group")
+    if group is not None:
+        out = _operators.group_by(out, group)
+    return out
+
+
+def _kernel_group_by(payload, resolve):
+    return _operators.group_by(resolve(payload["relation"]), payload["attrs"])
+
+
+def _kernel_semijoin(payload, resolve):
+    return _operators.semijoin(resolve(payload["left"]), resolve(payload["right"]))
+
+
+def _kernel_filter(payload, resolve):
+    return resolve(payload["relation"]).filter(payload["predicate"])
+
+
+_KERNELS = {
+    "join": _kernel_join,
+    "group_by": _kernel_group_by,
+    "semijoin": _kernel_semijoin,
+    "filter": _kernel_filter,
+}
+
+
+def _execute_task(kind: str, payload) -> Tuple:
+    """Run one kernel, attaching/closing shared-memory shards around it.
+
+    Large columnar results go back through a worker-created shared-memory
+    segment (:func:`~repro.engine.sharding.encode_result`) — the
+    coordinator unlinks it after the copy-out; small results ride the
+    pipe inline.
+    """
+    segments = []
+
+    def resolve(relation_payload):
+        relation, segment = decode_relation(relation_payload, _worker_vocab)
+        if segment is not None:
+            segments.append(segment)
+        return relation
+
+    try:
+        return encode_result(_KERNELS[kind](payload, resolve))
+    finally:
+        # Kernel outputs are fresh arrays and the shard views died with the
+        # kernel frame, so the mappings can be dropped; if an exception
+        # traceback still pins a view, leave the mapping to the OS.
+        for segment in segments:
+            with contextlib.suppress(BufferError, OSError):
+                segment.close()
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: ``(task_id, kind, payload)`` in, ``(task_id, ok, value)``
+    out, in order.  ``kind="vocab"`` extends the local replica without a
+    reply; ``None`` shuts down."""
+    _silence_shm_resource_tracking()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        task_id, kind, payload = message
+        if kind == "vocab":
+            generation, start, values = payload
+            _extend_worker_vocab(generation, start, values)
+            continue
+        try:
+            result = (task_id, True, _execute_task(kind, payload))
+        except BaseException as exc:  # propagated to the coordinator
+            result = (task_id, False, exc)
+        try:
+            conn.send(result)
+        except (BrokenPipeError, OSError):
+            break
+        except Exception as exc:  # unpicklable kernel error
+            conn.send((task_id, False, InternalError(f"worker error: {exc!r}")))
+
+
+# ============================================================ coordinator side
+class _WorkerHandle:
+    __slots__ = ("process", "conn", "synced")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        #: vocabulary generation -> number of values already replicated.
+        self.synced: Dict[int, int] = {}
+
+
+def _shutdown_workers(handles: List[_WorkerHandle]) -> None:
+    for handle in handles:
+        with contextlib.suppress(OSError, ValueError, BrokenPipeError):
+            handle.conn.send(None)
+    for handle in handles:
+        handle.process.join(timeout=2)
+        if handle.process.is_alive():
+            handle.process.terminate()
+        with contextlib.suppress(OSError):
+            handle.conn.close()
+    handles.clear()
+
+
+class WorkerPool:
+    """``n`` persistent worker processes fed over one pipe each.
+
+    Workers are started lazily on the first :meth:`run` (fork where
+    available — shard payloads are tiny either way, the data rides in
+    shared memory).  Tasks are round-robined; each worker answers its
+    tasks in order, so collection is deterministic.
+    """
+
+    def __init__(self, workers: int, start_method: Optional[str] = None):
+        if workers < 1:
+            raise SessionError(f"worker pool needs at least 1 worker, got {workers}")
+        self.workers = workers
+        method = start_method or (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        self._mp = multiprocessing.get_context(method)
+        self._handles: List[_WorkerHandle] = []
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _shutdown_workers, self._handles)
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise SessionError("worker pool is closed")
+        if self._handles:
+            return
+        for _ in range(self.workers):
+            parent_conn, child_conn = self._mp.Pipe()
+            process = self._mp.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._handles.append(_WorkerHandle(process, parent_conn))
+
+    def sync_vocabulary(self, vocab: _Vocabulary) -> None:
+        """Replicate the vocabulary suffix workers have not seen yet."""
+        self._ensure_started()
+        size = len(vocab.values)
+        for handle in self._handles:
+            done = handle.synced.get(vocab.generation, 0)
+            if done < size:
+                handle.conn.send(
+                    (-1, "vocab", (vocab.generation, done, vocab.values[done:size]))
+                )
+                handle.synced[vocab.generation] = size
+
+    def run(self, tasks: Sequence[Tuple[str, dict]]) -> List:
+        """Run ``(kind, payload)`` tasks across the pool; results in order.
+
+        A worker exception is re-raised here (real exception objects
+        travel back over the pipe, so ``MultiplicityOverflowError`` from a
+        shard behaves exactly like the serial overflow).
+        """
+        self._ensure_started()
+        conns = []
+        for index, (kind, payload) in enumerate(tasks):
+            conn = self._handles[index % len(self._handles)].conn
+            conn.send((index, kind, payload))
+            conns.append(conn)
+        results: List = [None] * len(tasks)
+        failure: Optional[BaseException] = None
+        for index, conn in enumerate(conns):
+            try:
+                task_id, ok, value = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise InternalError(
+                    "sharded worker died mid-task; state is unchanged "
+                    f"(pipe error: {exc!r})"
+                ) from exc
+            if task_id != index:
+                raise InternalError(
+                    f"worker reply out of order: expected task {index}, got {task_id}"
+                )
+            if ok:
+                results[index] = value
+            elif failure is None:
+                failure = value
+        if failure is not None:
+            for value in results:
+                release_result(value)
+            raise failure
+        return results
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer()
+
+
+# ------------------------------------------------------------- combination
+def _combine(parts: List, regroup: bool):
+    """Reduce per-shard kernel outputs into one relation.
+
+    ``regroup=False``: shard outputs are disjoint (each row carries the
+    partition attribute), so they concatenate without deduplication.
+    ``regroup=True``: shard outputs are partial group sums over the same
+    keys, reduced with the overflow-checked union kernel.
+    """
+    first = parts[0]
+    if isinstance(first, ColumnarRelation):
+        if regroup:
+            return _columnar.union_all(parts)
+        vocab = first._vocab
+        codes = [
+            np.concatenate([part._codes[j] for part in parts])
+            for j in range(first.schema.arity)
+        ]
+        mult = np.concatenate([part._mult for part in parts])
+        return ColumnarRelation._from_parts(first.schema, codes, mult, vocab=vocab)
+    merged: Dict = {}
+    for part in parts:
+        for row, count in part.counts.items():
+            merged[row] = merged.get(row, 0) + count
+    return Relation._from_counts(first.schema, merged)
+
+
+#: Live contexts consulted by the vocabulary reset guard.
+_LIVE_CONTEXTS: "weakref.WeakSet[ParallelContext]" = weakref.WeakSet()
+
+
+def _vocabulary_reset_guard() -> None:
+    for context in list(_LIVE_CONTEXTS):
+        if context.active and context.pinned_vocabulary is not None:
+            raise InternalError(
+                "reset_vocabulary() while a sharded ParallelContext holds "
+                "exported code arrays; close() sharded sessions first — "
+                "workers would decode stale codes against a fresh dictionary"
+            )
+
+
+_columnar.register_reset_guard(_vocabulary_reset_guard)
+
+
+class ParallelContext:
+    """Sharded execution context: a worker pool plus fan-out operators.
+
+    ``workers=1`` (the default) never starts processes and every operator
+    delegates straight to the serial kernels — callers can thread a
+    context unconditionally.  ``min_shard_rows`` gates fan-out by operand
+    size (tests set it to 0 to force sharding on tiny inputs).
+
+    The context pins the first columnar vocabulary it exports and refuses
+    operands from any other vocabulary: codes crossing process boundaries
+    must all mean the same values.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        min_shard_rows: int = DEFAULT_MIN_SHARD_ROWS,
+        start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise SessionError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.min_shard_rows = min_shard_rows
+        self._pool = WorkerPool(workers, start_method) if workers > 1 else None
+        self._vocab: Optional[_Vocabulary] = None
+        self._closed = False
+        if workers > 1:
+            _LIVE_CONTEXTS.add(self)
+
+    # ---------------------------------------------------------- lifecycle
+    @property
+    def active(self) -> bool:
+        """Whether operators fan out (more than one worker, not closed)."""
+        return self.workers > 1 and not self._closed
+
+    @property
+    def pinned_vocabulary(self) -> Optional[_Vocabulary]:
+        return self._vocab
+
+    def close(self) -> None:
+        """Shut the worker processes down.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._vocab = None
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ParallelContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------ plumbing
+    def _pin_vocabulary(self, relation) -> None:
+        if not isinstance(relation, ColumnarRelation):
+            return
+        vocab = relation._vocab
+        if self._vocab is None:
+            if vocab is not _columnar.current_vocabulary():
+                raise InternalError(
+                    "sharded execution over a relation from a retired "
+                    "vocabulary (reset_vocabulary() was called after it was "
+                    "built); rebuild the relation or the session"
+                )
+            self._vocab = vocab
+        elif self._vocab is not vocab:
+            raise InternalError(
+                "sharded execution across vocabularies: reset_vocabulary() "
+                "split this session's relations over two dictionaries; "
+                "close() and re-prepare the session"
+            )
+
+    def _worth_sharding(self, *relations) -> bool:
+        if not self.active:
+            return False
+        kinds = {type(relation) for relation in relations}
+        if len(kinds) != 1:
+            return False
+        return max(relation.distinct_count() for relation in relations) >= max(
+            1, self.min_shard_rows
+        )
+
+    def _shard(
+        self,
+        relation,
+        attribute: Optional[str],
+        cache: Optional[ShardMap],
+        key: Optional[str],
+    ) -> Tuple[ShardedRelation, bool]:
+        """Partition (or fetch the cached partitioning of) one operand.
+
+        Returns ``(sharded, ephemeral)`` — ephemeral partitionings are
+        closed by the caller right after the fan-out.
+        """
+        self._pin_vocabulary(relation)
+        if cache is not None and key is not None:
+            return cache.get(key, relation, attribute, self.workers, share=True), False
+        return ShardedRelation(relation, attribute, self.workers, share=True), True
+
+    def _run(self, kind: str, payloads: Sequence[dict]) -> List:
+        if self._pool is None:
+            raise InternalError("fan-out attempted on a serial ParallelContext")
+        outputs = self._pool.run([(kind, payload) for payload in payloads])
+        return [import_result(output, self._vocab) for output in outputs]
+
+    @staticmethod
+    def _partition_attribute(
+        common: Sequence[str], group: Optional[Sequence[str]]
+    ) -> str:
+        if group:
+            for attribute in common:
+                if attribute in group:
+                    return attribute
+        return common[0]
+
+    # ----------------------------------------------------------- operators
+    def join(
+        self,
+        left,
+        right,
+        group: Optional[Sequence[str]] = None,
+        cache: Optional[ShardMap] = None,
+        left_key: Optional[str] = None,
+        right_key: Optional[str] = None,
+    ):
+        """``r̃join`` (optionally fused with a trailing ``γ_group``).
+
+        Serial fallback when the context is inactive, the operands are
+        small or mixed-backend, or the join is a cross product of two
+        tiny sides.
+        """
+        common = left.schema.common(right.schema)
+        if not common or not self._worth_sharding(left, right):
+            out = _operators.join(left, right)
+            return _operators.group_by(out, group) if group is not None else out
+        attribute = self._partition_attribute(common, group)
+        sharded_left, left_ephemeral = self._shard(left, attribute, cache, left_key)
+        sharded_right, right_ephemeral = self._shard(right, attribute, cache, right_key)
+        group_payload = tuple(group) if group is not None else None
+        try:
+            parts = self._run(
+                "join",
+                [
+                    {
+                        "left": sharded_left.payloads[i],
+                        "right": sharded_right.payloads[i],
+                        "group": group_payload,
+                    }
+                    for i in range(self.workers)
+                ],
+            )
+        finally:
+            if left_ephemeral:
+                sharded_left.close()
+            if right_ephemeral:
+                sharded_right.close()
+        regroup = group is not None and attribute not in group
+        return _combine(parts, regroup)
+
+    def group_by(
+        self,
+        relation,
+        attributes: Sequence[str],
+        cache: Optional[ShardMap] = None,
+        key: Optional[str] = None,
+    ):
+        """``γ_A`` with disjoint per-shard partials."""
+        if not attributes or not self._worth_sharding(relation):
+            return _operators.group_by(relation, attributes)
+        attribute = attributes[0]
+        sharded, ephemeral = self._shard(relation, attribute, cache, key)
+        try:
+            parts = self._run(
+                "group_by",
+                [
+                    {"relation": payload, "attrs": tuple(attributes)}
+                    for payload in sharded.payloads
+                ],
+            )
+        finally:
+            if ephemeral:
+                sharded.close()
+        return _combine(parts, regroup=False)
+
+    def semijoin(self, left, right):
+        """Yannakakis reducer, co-partitioned on a shared attribute."""
+        common = left.schema.common(right.schema)
+        if not common or not self._worth_sharding(left, right):
+            return _operators.semijoin(left, right)
+        attribute = common[0]
+        sharded_left, _ = self._shard(left, attribute, None, None)
+        sharded_right, _ = self._shard(right, attribute, None, None)
+        try:
+            parts = self._run(
+                "semijoin",
+                [
+                    {
+                        "left": sharded_left.payloads[i],
+                        "right": sharded_right.payloads[i],
+                    }
+                    for i in range(self.workers)
+                ],
+            )
+        finally:
+            sharded_left.close()
+            sharded_right.close()
+        return _combine(parts, regroup=False)
+
+    def filter(self, relation, predicate):
+        """Selection over row blocks; replicates the vocabulary first."""
+        if not self._worth_sharding(relation) or not _picklable_predicate(predicate):
+            return relation.filter(predicate)
+        if isinstance(relation, ColumnarRelation):
+            self._pin_vocabulary(relation)
+            self._pool.sync_vocabulary(relation._vocab)
+        sharded = ShardedRelation(relation, None, self.workers, share=True)
+        try:
+            parts = self._run(
+                "filter",
+                [
+                    {"relation": payload, "predicate": predicate}
+                    for payload in sharded.payloads
+                ],
+            )
+        finally:
+            sharded.close()
+        return _combine(parts, regroup=False)
+
+    def join_group(
+        self,
+        parts: Sequence,
+        group: Optional[Sequence[str]],
+        cache: Optional[ShardMap] = None,
+        keys: Optional[Sequence[Optional[str]]] = None,
+    ):
+        """Left-deep ``r̃join`` fold of ``parts`` ending in ``γ_group``.
+
+        The bag-identical sharded counterpart of
+        ``group_by(join_all(parts), group)`` — the grouping is fused into
+        the last join's shard kernels.  ``keys`` (aligned with ``parts``)
+        names cacheable operands in ``cache``.
+        """
+        if keys is None:
+            keys = [None] * len(parts)
+        if len(parts) == 1:
+            if group is None:
+                return parts[0]
+            return self.group_by(parts[0], group, cache=cache, key=keys[0])
+        accumulator = parts[0]
+        accumulator_key: Optional[str] = keys[0]
+        for index in range(1, len(parts)):
+            last = index == len(parts) - 1
+            accumulator = self.join(
+                accumulator,
+                parts[index],
+                group=group if last else None,
+                cache=cache,
+                left_key=accumulator_key,
+                right_key=keys[index],
+            )
+            accumulator_key = None
+        return accumulator
+
+    def join_all(self, parts: Sequence, cache=None, keys=None):
+        """Left-deep ``r̃join`` fold without a trailing group-by."""
+        return self.join_group(parts, None, cache=cache, keys=keys)
+
+
+def _picklable_predicate(predicate) -> bool:
+    """Only structural DSL predicates travel to workers; arbitrary
+    callables (lambdas, closures) stay on the coordinator."""
+    from repro.query.predicates import Predicate
+
+    return isinstance(predicate, Predicate)
+
+
+def fan_out(parallel: Optional[ParallelContext]) -> bool:
+    """True when ``parallel`` is a live multi-worker context."""
+    return parallel is not None and parallel.active

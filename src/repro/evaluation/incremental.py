@@ -173,6 +173,7 @@ class IncrementalEvaluator:
         component_pairs: Optional[
             Sequence[Tuple[ConjunctiveQuery, DecompositionTree]]
         ] = None,
+        parallel=None,
     ):
         query.validate_against(db)
         if PROBE_ATTRIBUTE in query.variables:
@@ -187,7 +188,7 @@ class IncrementalEvaluator:
         if component_pairs is None:
             component_pairs = _component_trees(query, tree, max_width)
         for sub, sub_tree in component_pairs:
-            component = self._build_component(sub, sub_tree, db)
+            component = self._build_component(sub, sub_tree, db, parallel)
             index = len(self._components)
             self._components.append(component)
             for relation in sub.relation_names:
@@ -197,9 +198,12 @@ class IncrementalEvaluator:
     # -------------------------------------------------------------- building
     @staticmethod
     def _build_component(
-        sub: ConjunctiveQuery, sub_tree: DecompositionTree, db: Database
+        sub: ConjunctiveQuery,
+        sub_tree: DecompositionTree,
+        db: Database,
+        parallel=None,
     ) -> _Component:
-        return _Component(state=JoinState(sub, sub_tree, db))
+        return _Component(state=JoinState(sub, sub_tree, db, parallel=parallel))
 
     @staticmethod
     def _edge_complements(

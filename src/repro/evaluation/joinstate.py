@@ -50,6 +50,7 @@ from repro.engine.database import Database
 from repro.engine.operators import difference, group_by, join, join_all, union_all
 from repro.engine.relation import Relation
 from repro.engine.schema import Schema
+from repro.engine.sharding import ShardMap
 from repro.evaluation.yannakakis import (
     BoundTree,
     bind,
@@ -167,10 +168,24 @@ def table_layout(
     return TableLayout(relation, node_id, effective, tuple(components))
 
 
+def _part_shard_key(part: _TablePart) -> str:
+    """Shard-map key of a table part (kinds map onto the cache namespaces
+    the botjoin/topjoin passes already use, so partitionings are shared)."""
+    return f"{part.kind}:{part.key}"
+
+
 def build_table(
-    layout: TableLayout, part_value: Callable[[_TablePart], Relation]
+    layout: TableLayout,
+    part_value: Callable[[_TablePart], Relation],
+    parallel=None,
+    shard_cache=None,
 ) -> MultiplicityTable:
-    """Materialise a table from its layout and a part-resolving callback."""
+    """Materialise a table from its layout and a part-resolving callback.
+
+    ``parallel``/``shard_cache`` shard each factor's join+group across the
+    worker pool, re-using the botjoin/topjoin partitionings already cached
+    for this state; inactive contexts take the identical serial path.
+    """
     if not layout.components:
         # Single-relation query: Q(D) = R, every tuple has sensitivity 1.
         table = Relation(
@@ -178,9 +193,18 @@ def build_table(
         )
         return MultiplicityTable(layout.relation, (table,))
     factors: List[Relation] = []
+    sharded = parallel is not None and parallel.active
     for component in layout.components:
-        joined = join_all([part_value(part) for part in component.parts])
-        factors.append(group_by(joined, component.effective))
+        parts = [part_value(part) for part in component.parts]
+        if sharded:
+            keys = [_part_shard_key(part) for part in component.parts]
+            factors.append(
+                parallel.join_group(
+                    parts, component.effective, cache=shard_cache, keys=keys
+                )
+            )
+        else:
+            factors.append(group_by(join_all(parts), component.effective))
     return MultiplicityTable(layout.relation, tuple(factors))
 
 
@@ -234,11 +258,24 @@ class JoinState:
     """
 
     def __init__(
-        self, query: ConjunctiveQuery, tree: DecompositionTree, db: Database
+        self,
+        query: ConjunctiveQuery,
+        tree: DecompositionTree,
+        db: Database,
+        parallel=None,
     ):
         self.query = query
-        self.bound: BoundTree = bind(query, tree, db)
-        self.botjoins: Dict[str, Relation] = compute_botjoins(self.bound)
+        #: sharded-execution context (None or inactive = serial build);
+        #: the shard map below keeps this state's hash partitionings alive
+        #: across maintained reads, invalidated by identity on commit.
+        self.parallel = parallel
+        self.shards = (
+            ShardMap() if parallel is not None and parallel.active else None
+        )
+        self.bound: BoundTree = bind(query, tree, db, parallel=parallel)
+        self.botjoins: Dict[str, Relation] = compute_botjoins(
+            self.bound, parallel=parallel, shard_cache=self.shards
+        )
         self._topjoins: Optional[Dict[str, Optional[Relation]]] = None
         self._layouts: Dict[str, TableLayout] = {}
         self._tables: Dict[str, MultiplicityTable] = {}
@@ -283,7 +320,12 @@ class JoinState:
             # First materialisation from committed botjoins — there is no
             # staged predecessor state for an update to corrupt.
             # repro-lint: disable=R002 -- lazy first build, not an update
-            self._topjoins = compute_topjoins(self.bound, self.botjoins)
+            self._topjoins = compute_topjoins(
+                self.bound,
+                self.botjoins,
+                parallel=self.parallel,
+                shard_cache=self.shards,
+            )
         return self._topjoins
 
     def layout(self, relation: str) -> TableLayout:
@@ -307,9 +349,21 @@ class JoinState:
             # Same lazy-first-build exemption as topjoins() above.
             # repro-lint: disable=R002 -- lazy first build, not an update
             self._tables[relation] = build_table(
-                self.layout(relation), self._part_value
+                self.layout(relation),
+                self._part_value,
+                parallel=self.parallel,
+                shard_cache=self.shards,
             )
         return self._tables[relation]
+
+    def close(self) -> None:
+        """Release the shared-memory shard map (serial states no-op).
+
+        The state itself stays readable — partitionings are rebuilt on
+        demand if another sharded read follows.  Idempotent.
+        """
+        if self.shards is not None:
+            self.shards.close()
 
     def base_columns(self, relation: str) -> frozenset:
         """Base-schema column names of one of this component's relations."""
@@ -378,12 +432,17 @@ class JoinState:
             for other in node.relations:
                 if other != relation:
                     node_delta = join(node_delta, bound.atom_relations[other])
-            new_node_relation = join_all(
-                [
-                    new_atom if rel == relation else bound.atom_relations[rel]
-                    for rel in node.relations
-                ]
-            )
+            node_parts = [
+                new_atom if rel == relation else bound.atom_relations[rel]
+                for rel in node.relations
+            ]
+            if self.parallel is not None and self.parallel.active:
+                # Full node rejoin is the one big join in an update; fan it
+                # out ephemerally (no cache keys — new_atom is uncommitted,
+                # so a failure here must not touch the shard map).
+                new_node_relation = self.parallel.join_all(node_parts)
+            else:
+                new_node_relation = join_all(node_parts)
 
         # ----- stage: botjoins along the leaf-to-root path
         staged_botjoins: Dict[str, Relation] = {}
@@ -488,6 +547,14 @@ class JoinState:
         # too — within this component; the evaluator repeats this for the
         # other components of a disconnected query.
         self.drop_domain_dependent_witnesses(self._base_columns[relation])
+        if self.shards is not None:
+            # Release shard partitionings of the replaced relations now
+            # (identity checks would rebuild them anyway; this just frees
+            # the shared-memory blocks early).  Never raises.
+            stale = {f"atom:{relation}", f"node:{node_id}"}
+            stale.update(f"bot:{changed}" for changed in staged_botjoins)
+            stale.update(f"top:{changed}" for changed in staged_topjoins)
+            self.shards.invalidate(stale)
 
     def _stage_topjoin_deltas(
         self,

@@ -61,23 +61,35 @@ class BoundTree:
 
 
 def bind(
-    query: ConjunctiveQuery, tree: DecompositionTree, db: Database
+    query: ConjunctiveQuery,
+    tree: DecompositionTree,
+    db: Database,
+    parallel=None,
 ) -> BoundTree:
     """Materialise every tree node over ``db``.
 
     Width-1 nodes are just the (renamed, selection-filtered) base relation;
     wider GHD nodes are the bag join of their atoms.  The per-node join cost
-    is the paper's ``n^p`` factor.
+    is the paper's ``n^p`` factor.  ``parallel`` (a
+    :class:`~repro.engine.parallel.ParallelContext`) shard-partitions the
+    selection filters and multi-atom node joins; inactive contexts take the
+    identical serial path.
     """
     query.validate_against(db)
     atom_relations: Dict[str, Relation] = {
-        rel: query.bound_relation(db, rel) for rel in query.relation_names
+        rel: query.bound_relation(db, rel, parallel=parallel)
+        for rel in query.relation_names
     }
     node_relations: Dict[str, Relation] = {}
+    sharded = parallel is not None and parallel.active
     for node_id in tree.node_ids:
         node = tree.node(node_id)
         parts = [atom_relations[rel] for rel in node.relations]
-        node_relations[node_id] = join_all(parts)
+        if sharded:
+            keys = [f"atom:{rel}" for rel in node.relations]
+            node_relations[node_id] = parallel.join_all(parts, keys=keys)
+        else:
+            node_relations[node_id] = join_all(parts)
     return BoundTree(
         tree=tree,
         node_relations=node_relations,
@@ -86,35 +98,61 @@ def bind(
     )
 
 
-def compute_botjoins(bound: BoundTree) -> Dict[str, Relation]:
+def compute_botjoins(
+    bound: BoundTree, parallel=None, shard_cache=None
+) -> Dict[str, Relation]:
     """Botjoins ``K(v)`` for every node, in post-order (paper Eqn. 5/7).
 
     ``K(v) = γ_{A_v ∩ A_p(v)} r̃join(rel_v, {K(c) | c ∈ children(v)})``.
     For the root the grouping attribute set is empty, so ``K(root)`` is a
     zero-arity relation whose single count is ``|Q(D)|``.
+
+    With an active ``parallel`` context each level's join+group runs
+    hash-sharded across the worker pool and the per-shard partial botjoins
+    are reduced on the coordinator; ``shard_cache`` (a
+    :class:`~repro.engine.sharding.ShardMap`) keeps node/botjoin
+    partitionings alive across passes (the maintained join state hands in
+    its long-lived map so repeated reads re-use shard layouts).
     """
     tree = bound.tree
     botjoins: Dict[str, Relation] = {}
+    sharded = parallel is not None and parallel.active
     for node_id in tree.post_order():
-        current = bound.relation(node_id)
-        for child in tree.children(node_id):
-            current = join(current, botjoins[child])
+        children = tree.children(node_id)
         group_attrs = sorted(tree.shared_with_parent(node_id))
-        botjoins[node_id] = group_by(current, group_attrs)
+        if sharded:
+            parts = [bound.relation(node_id)]
+            parts.extend(botjoins[child] for child in children)
+            keys = [f"node:{node_id}"]
+            keys.extend(f"bot:{child}" for child in children)
+            botjoins[node_id] = parallel.join_group(
+                parts, group_attrs, cache=shard_cache, keys=keys
+            )
+        else:
+            current = bound.relation(node_id)
+            for child in children:
+                current = join(current, botjoins[child])
+            botjoins[node_id] = group_by(current, group_attrs)
     return botjoins
 
 
 def compute_topjoins(
-    bound: BoundTree, botjoins: Dict[str, Relation]
+    bound: BoundTree,
+    botjoins: Dict[str, Relation],
+    parallel=None,
+    shard_cache=None,
 ) -> Dict[str, Optional[Relation]]:
     """Topjoins ``J(v)`` for every node, in pre-order (paper Eqn. 8).
 
     ``J(root)`` is ``None`` (the complement of the whole tree is empty).
     For a node whose parent is the root the topjoin omits ``J(parent)``;
     otherwise ``J(v) = γ_{A_v ∩ A_p} r̃join(rel_p, J(p), {K(s) | s ∈ N(v)})``.
+    ``parallel``/``shard_cache`` shard each level exactly as in
+    :func:`compute_botjoins`.
     """
     tree = bound.tree
     topjoins: Dict[str, Optional[Relation]] = {tree.root: None}
+    sharded = parallel is not None and parallel.active
     for node_id in tree.pre_order():
         if node_id == tree.root:
             continue
@@ -122,14 +160,21 @@ def compute_topjoins(
         if parent is None:
             raise InternalError(f"non-root node {node_id} has no parent")
         parts: List[Relation] = [bound.relation(parent)]
+        keys: List[Optional[str]] = [f"node:{parent}"]
         parent_top = topjoins[parent]
         if parent_top is not None:
             parts.append(parent_top)
+            keys.append(f"top:{parent}")
         for sibling in tree.neighbours(node_id):
             parts.append(botjoins[sibling])
-        joined = join_all(parts)
+            keys.append(f"bot:{sibling}")
         group_attrs = sorted(tree.shared_with_parent(node_id))
-        topjoins[node_id] = group_by(joined, group_attrs)
+        if sharded:
+            topjoins[node_id] = parallel.join_group(
+                parts, group_attrs, cache=shard_cache, keys=keys
+            )
+        else:
+            topjoins[node_id] = group_by(join_all(parts), group_attrs)
     return topjoins
 
 

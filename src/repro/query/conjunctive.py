@@ -150,13 +150,16 @@ class ConjunctiveQuery:
         return ConjunctiveQuery(atoms, name=name or self.name, selections=selections)
 
     # ------------------------------------------------------------- data side
-    def bound_relation(self, db: Database, relation: str) -> Relation:
+    def bound_relation(self, db: Database, relation: str, parallel=None) -> Relation:
         """The relation renamed to query variables, with selections applied.
 
         The database column names are mapped positionally onto the atom's
         variables, then the atom's selection predicate (if any) filters the
         bag.  All algorithms consume relations through this method so that
-        selections are honoured uniformly.
+        selections are honoured uniformly.  ``parallel`` (a
+        :class:`~repro.engine.parallel.ParallelContext`) fans the selection
+        filter across shard workers when active; ``None`` and single-worker
+        contexts run the identical serial filter.
         """
         atom = self.atom(relation)
         base = db.relation(relation)
@@ -168,7 +171,10 @@ class ConjunctiveQuery:
         renamed = base.rename(dict(zip(base.attributes, atom.variables)))
         predicate = self._selections.get(relation)
         if predicate is not None:
-            renamed = renamed.filter(predicate)
+            if parallel is not None and parallel.active:
+                renamed = parallel.filter(renamed, predicate)
+            else:
+                renamed = renamed.filter(predicate)
         return renamed
 
     def validate_against(self, db: Database) -> None:

@@ -49,6 +49,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.database import Database
+from repro.engine.parallel import ParallelContext
 from repro.evaluation.incremental import IncrementalEvaluator
 from repro.evaluation.yannakakis import _component_trees
 from repro.query.classify import is_path_query
@@ -79,6 +80,8 @@ def prepare(
     backend: Optional[str] = None,
     tree: Optional[DecompositionTree] = None,
     max_width: int = 3,
+    workers: int = 1,
+    parallel=None,
 ) -> "PreparedQuery":
     """Plan ``query`` over ``db`` once and return the reusable session.
 
@@ -101,6 +104,18 @@ def prepare(
         :func:`repro.core.api.local_sensitivity`.
     max_width:
         GHD node-size cap for automatic decomposition of cyclic queries.
+    workers:
+        Sharded-execution fan-out.  The default ``1`` is the serial path,
+        bit-identical to sessions prepared before this knob existed.
+        ``workers=N`` (N > 1) keeps N worker processes alive for the
+        session's lifetime and hash-shards the heavy botjoin/topjoin/table
+        builds across them (:mod:`repro.engine.parallel`); results are
+        exactly equal either way.  Call :meth:`PreparedQuery.close` (or
+        use the session as a context manager) to release the workers.
+    parallel:
+        A pre-built :class:`~repro.engine.parallel.ParallelContext` to
+        share across sessions (overrides ``workers``); the caller keeps
+        ownership and closes it.
 
     Examples
     --------
@@ -123,7 +138,9 @@ def prepare(
     """
     if backend is not None:
         db = db.with_backend(backend)
-    return PreparedQuery(query, db, tree=tree, max_width=max_width)
+    return PreparedQuery(
+        query, db, tree=tree, max_width=max_width, workers=workers, parallel=parallel
+    )
 
 
 def rebuild_per_update_counts(
@@ -175,12 +192,25 @@ class PreparedQuery:
         db: Database,
         tree: Optional[DecompositionTree] = None,
         max_width: int = 3,
+        workers: int = 1,
+        parallel=None,
     ):
         query.validate_against(db)
         self._query = query
         self._db = db
         self._user_tree = tree
         self._max_width = max_width
+        if parallel is not None:
+            self._parallel = parallel
+            self._owns_parallel = False
+        elif workers > 1:
+            self._parallel = ParallelContext(workers)
+            self._owns_parallel = True
+        else:
+            if workers < 1:
+                raise SessionError(f"workers must be >= 1, got {workers}")
+            self._parallel = None
+            self._owns_parallel = False
         # Planned once: classification + per-component decomposition.
         self._is_path = tree is None and is_path_query(query)
         self._pairs: List[Tuple[ConjunctiveQuery, DecompositionTree]] = list(
@@ -228,6 +258,33 @@ class PreparedQuery:
         """Number of committed updates since :func:`prepare`."""
         return self._updates_applied
 
+    @property
+    def workers(self) -> int:
+        """Sharded-execution fan-out (1 = serial)."""
+        return self._parallel.workers if self._parallel is not None else 1
+
+    def close(self) -> None:
+        """Release sharded-execution resources.
+
+        Drops the per-component shared-memory shard maps and, when the
+        session owns its :class:`~repro.engine.parallel.ParallelContext`
+        (built from ``workers=N``), shuts the worker processes down.
+        Serial sessions no-op.  Idempotent; reads keep working afterwards
+        via the serial path state already materialised.
+        """
+        if self._evaluator is not None:
+            for state in self._evaluator.component_states:
+                state.close()
+        if self._owns_parallel and self._parallel is not None:
+            self._parallel.close()
+
+    def __enter__(self) -> "PreparedQuery":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
     def __repr__(self) -> str:
         return (
             f"PreparedQuery({self._query.name}, backend={self.backend}, "
@@ -242,6 +299,7 @@ class PreparedQuery:
                 self._db,
                 max_width=self._max_width,
                 component_pairs=self._pairs,
+                parallel=self._parallel,
             )
         return self._evaluator
 

@@ -1,0 +1,322 @@
+"""Unit tests for the sharded execution layer.
+
+Covers the partitioning invariants (disjoint, exact, co-partitioned),
+the shared-memory export/import round trips in both directions, the
+vocabulary discipline (picklable replicas, frozen worker encode, the
+reset-under-workers guard), the ShardMap identity cache, the
+``workers=1`` identity guarantee, and the `_match_pairs` sort cache.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ColumnarRelation,
+    ParallelContext,
+    Relation,
+    ShardMap,
+    ShardedRelation,
+    WorkerPool,
+    group_by,
+    join,
+    semijoin,
+    symmetric_difference_size,
+    union_all,
+)
+from repro.engine import columnar as columnar_mod
+from repro.engine.columnar import current_vocabulary, reset_vocabulary
+from repro.engine.parallel import _FrozenVocabulary
+from repro.engine.sharding import (
+    decode_relation,
+    encode_relation,
+    encode_result,
+    export_columnar,
+    import_result,
+    partition_by_attribute,
+    partition_by_blocks,
+)
+from repro.exceptions import InternalError, SessionError
+
+R_ROWS = [(i % 7, i % 5, i) for i in range(200)]
+
+
+def _vocab_for(generation):
+    return current_vocabulary()
+
+
+def _reassemble(shards):
+    counts = {}
+    for shard in shards:
+        for row, count in shard.items():
+            counts[row] = counts.get(row, 0) + count
+    return counts
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize("backend_cls", [Relation, ColumnarRelation])
+    def test_partition_is_exact_and_disjoint(self, backend_cls):
+        relation = backend_cls(["A", "B", "C"], R_ROWS)
+        shards = partition_by_attribute(relation, "A", 3)
+        assert len(shards) == 3
+        assert _reassemble(shards) == dict(relation.items())
+        seen = set()
+        for shard in shards:
+            rows = set(dict(shard.items()))
+            assert not rows & seen
+            seen |= rows
+
+    def test_copartitioning_preserves_joins(self):
+        left = ColumnarRelation(["A", "B"], [(i % 5, i) for i in range(50)])
+        right = ColumnarRelation(["A", "C"], [(i % 5, -i) for i in range(50)])
+        serial = join(left, right)
+        left_shards = partition_by_attribute(left, "A", 4)
+        right_shards = partition_by_attribute(right, "A", 4)
+        sharded = union_all(
+            [join(a, b) for a, b in zip(left_shards, right_shards)]
+        )
+        assert symmetric_difference_size(serial, sharded) == 0
+
+    @pytest.mark.parametrize("backend_cls", [Relation, ColumnarRelation])
+    def test_blocks_cover_exactly(self, backend_cls):
+        relation = backend_cls(["A", "B", "C"], R_ROWS)
+        shards = partition_by_blocks(relation, 4)
+        assert _reassemble(shards) == dict(relation.items())
+
+    def test_empty_relation_partitions(self):
+        relation = ColumnarRelation(["A", "B"], [])
+        for shard in partition_by_attribute(relation, "A", 2):
+            assert shard.is_empty()
+
+
+class TestSharedMemoryRoundTrip:
+    def test_export_decode_roundtrip(self):
+        relation = ColumnarRelation(["A", "B", "C"], R_ROWS)
+        payload, block = export_columnar(relation)
+        assert payload[0] == "shm"
+        try:
+            decoded, segment = decode_relation(payload, _vocab_for)
+            assert symmetric_difference_size(relation, decoded) == 0
+            del decoded
+            segment.close()
+        finally:
+            block.close()
+
+    def test_empty_export_is_inline(self):
+        relation = ColumnarRelation(["A"], [])
+        payload, block = export_columnar(relation)
+        assert payload[0] == "col" and block is None
+
+    def test_shard_payload_gathers_worker_side(self):
+        relation = ColumnarRelation(["A", "B", "C"], R_ROWS)
+        sharded = ShardedRelation(relation, "A", 3, share=True)
+        try:
+            shards = []
+            for payload in sharded.payloads:
+                assert payload[0] == "shard"
+                shard, segment = decode_relation(payload, _vocab_for)
+                shards.append(dict(shard.items()))
+                del shard
+                if segment is not None:
+                    segment.close()
+            merged = {}
+            for counts in shards:
+                for row, count in counts.items():
+                    assert row not in merged
+                    merged[row] = count
+            assert merged == dict(relation.items())
+        finally:
+            sharded.close()
+
+    def test_result_roundtrip_inline_and_shm(self):
+        small = ColumnarRelation(["A", "B"], [(1, 2), (3, 4)])
+        assert encode_result(small)[0] == "col"
+        assert symmetric_difference_size(
+            import_result(encode_result(small), small._vocab), small
+        ) == 0
+        big = ColumnarRelation(
+            ["A"], {(i,): 1 for i in range(70_000)}
+        )
+        payload = encode_result(big)
+        assert payload[0] == "shm"
+        imported = import_result(payload, big._vocab)
+        assert symmetric_difference_size(imported, big) == 0
+
+    def test_python_backend_stays_inline(self):
+        relation = Relation(["A", "B"], [(1, 2), (1, 2)])
+        payload = encode_relation(relation)
+        assert payload[0] == "py"
+        decoded, segment = decode_relation(payload, _vocab_for)
+        assert segment is None
+        assert dict(decoded.items()) == dict(relation.items())
+
+
+class TestVocabularyDiscipline:
+    def test_vocabulary_pickle_roundtrip(self):
+        relation = ColumnarRelation(["A"], [("x",), ("y",)])
+        vocab = relation._vocab
+        clone = pickle.loads(pickle.dumps(vocab))
+        assert clone.values == vocab.values
+        assert clone.generation == vocab.generation
+        assert clone.code_of == vocab.code_of
+
+    def test_frozen_vocabulary_refuses_encode(self):
+        frozen = _FrozenVocabulary(values=["a", "b"], generation=0)
+        assert frozen.lookup("a") == 0
+        with pytest.raises(InternalError, match="coordinator"):
+            frozen.encode("new-value")
+
+    def test_reset_vocabulary_under_workers_raises(self):
+        """reset_vocabulary() while a sharded context holds exported codes
+        is a programming error with a clear message — codes already
+        shipped to workers would decode against the wrong dictionary."""
+        with ParallelContext(2, min_shard_rows=0) as context:
+            left = ColumnarRelation(["A", "B"], [(i % 3, i) for i in range(30)])
+            right = ColumnarRelation(["A", "C"], [(i % 3, -i) for i in range(30)])
+            out = context.join(left, right)
+            assert symmetric_difference_size(out, join(left, right)) == 0
+            with pytest.raises(InternalError, match="reset_vocabulary"):
+                reset_vocabulary()
+        # Once the context is closed the reset goes through again.
+        reset_vocabulary()
+
+    def test_stale_vocabulary_operand_rejected(self):
+        relation = ColumnarRelation(["A", "B"], [(i % 3, i) for i in range(30)])
+        reset_vocabulary()
+        with ParallelContext(2, min_shard_rows=0) as context:
+            with pytest.raises(InternalError, match="retired"):
+                context.join(relation, relation)
+
+
+class TestShardMap:
+    def test_identity_cache_hits_and_invalidation(self):
+        relation = ColumnarRelation(["A", "B"], [(i % 3, i) for i in range(40)])
+        cache = ShardMap()
+        try:
+            first = cache.get("bot:1", relation, "A", 2, share=True)
+            assert cache.get("bot:1", relation, "A", 2, share=True) is first
+            # Same relation under another name reuses the same entry.
+            assert cache.get("node:7", relation, "A", 2, share=True) is first
+            assert len(cache) == 1
+            replacement = ColumnarRelation(["A", "B"], [(0, 99)])
+            rebuilt = cache.get("bot:1", replacement, "A", 2, share=True)
+            assert rebuilt is not first
+            cache.invalidate(["bot:1", "node:7"])
+            assert len(cache) == 0
+        finally:
+            cache.close()
+
+    def test_shared_export_across_attributes(self):
+        """One whole-relation export serves partitionings on different
+        attributes (the export is attribute-independent)."""
+        relation = ColumnarRelation(["A", "B"], [(i % 3, i % 4) for i in range(40)])
+        cache = ShardMap()
+        try:
+            on_a = cache.get("x", relation, "A", 2, share=True)
+            on_b = cache.get("x", relation, "B", 2, share=True)
+            assert on_a is not on_b
+            # Neither partitioning owns a block; the map holds the one base.
+            assert on_a.blocks == [] and on_b.blocks == []
+            assert on_a.payloads[0][1] is on_b.payloads[0][1]
+        finally:
+            cache.close()
+
+    def test_invalidate_unknown_name_is_noop(self):
+        cache = ShardMap()
+        cache.invalidate(["never-registered"])
+        cache.close()
+
+
+class TestParallelContext:
+    def test_workers_1_is_serial_identity(self):
+        context = ParallelContext(1)
+        assert not context.active
+        left = ColumnarRelation(["A", "B"], [(1, 2), (1, 3)])
+        right = ColumnarRelation(["A", "C"], [(1, 9)])
+        assert symmetric_difference_size(
+            context.join(left, right), join(left, right)
+        ) == 0
+        context.close()
+
+    def test_invalid_worker_counts_raise(self):
+        with pytest.raises(SessionError):
+            ParallelContext(0)
+        with pytest.raises(SessionError):
+            WorkerPool(0)
+
+    def test_sharded_operators_match_serial(self):
+        left = ColumnarRelation(["A", "B"], [(i % 5, i % 7) for i in range(300)])
+        right = ColumnarRelation(["A", "C"], [(i % 5, i % 3) for i in range(300)])
+        with ParallelContext(2, min_shard_rows=0) as context:
+            assert symmetric_difference_size(
+                context.join(left, right), join(left, right)
+            ) == 0
+            assert symmetric_difference_size(
+                context.join(left, right, group=["B"]),
+                group_by(join(left, right), ["B"]),
+            ) == 0
+            assert symmetric_difference_size(
+                context.semijoin(left, right), semijoin(left, right)
+            ) == 0
+            assert symmetric_difference_size(
+                context.group_by(left, ["A"]), group_by(left, ["A"])
+            ) == 0
+
+    def test_overflow_propagates_from_workers(self):
+        from repro.exceptions import MultiplicityOverflowError
+
+        huge = 2**40
+        left = ColumnarRelation(["A", "B"], {(1, i): huge for i in range(4)})
+        right = ColumnarRelation(["A", "C"], {(1, i): huge for i in range(4)})
+        with ParallelContext(2, min_shard_rows=0) as context:
+            with pytest.raises(MultiplicityOverflowError):
+                context.join(left, right)
+
+
+class TestSortCache:
+    def test_small_and_view_arrays_bypass_cache(self):
+        columnar_mod._SORT_CACHE.clear()
+        small = np.arange(10, dtype=np.int64)[::-1].copy()
+        order, sorted_key = columnar_mod._sorted_key(small)
+        assert list(sorted_key) == sorted(small.tolist())
+        assert len(columnar_mod._SORT_CACHE) == 0
+        big = np.random.default_rng(0).integers(
+            0, 100, columnar_mod._SORT_CACHE_MIN_SIZE + 1
+        )
+        view = big[1:]
+        columnar_mod._sorted_key(view)
+        assert len(columnar_mod._SORT_CACHE) == 0
+
+    def test_cache_hit_returns_same_arrays(self):
+        columnar_mod._SORT_CACHE.clear()
+        key = np.random.default_rng(1).integers(
+            0, 1000, columnar_mod._SORT_CACHE_MIN_SIZE + 5
+        )
+        order1, sorted1 = columnar_mod._sorted_key(key)
+        order2, sorted2 = columnar_mod._sorted_key(key)
+        assert order1 is order2 and sorted1 is sorted2
+        assert len(columnar_mod._SORT_CACHE) == 1
+
+    def test_cache_evicts_by_capacity(self):
+        columnar_mod._SORT_CACHE.clear()
+        keys = [
+            np.random.default_rng(i).integers(
+                0, 1000, columnar_mod._SORT_CACHE_MIN_SIZE
+            )
+            for i in range(columnar_mod._SORT_CACHE_MAX_ENTRIES + 4)
+        ]
+        for key in keys:
+            columnar_mod._sorted_key(key)
+        assert (
+            len(columnar_mod._SORT_CACHE)
+            <= columnar_mod._SORT_CACHE_MAX_ENTRIES
+        )
+
+    def test_join_correct_with_cache_across_calls(self):
+        rows = [(i % 97, i) for i in range(3000)]
+        left = ColumnarRelation(["A", "B"], rows)
+        right = ColumnarRelation(["A", "C"], [(i % 97, -i) for i in range(3000)])
+        once = join(left, right)
+        again = join(left, right)
+        assert symmetric_difference_size(once, again) == 0
