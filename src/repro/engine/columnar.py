@@ -612,6 +612,41 @@ class ColumnarRelation:
         index = self._row_index(row)
         return int(self._mult[index]) if index is not None else 0
 
+    def multiplicities(self, rows: Sequence[Sequence[object]]) -> list:
+        """Bulk :meth:`multiplicity` lookup: one count per input row.
+
+        One vectorized key probe for the whole batch instead of a
+        per-row mask scan — batched update compaction asks for every
+        mixed-sign tuple's pre-batch count at once."""
+        rows = [tuple(row) for row in rows]
+        for row in rows:
+            self._check_row(row)
+        out = [0] * len(rows)
+        if not rows or self._mult.size == 0:
+            return out
+        if not self._codes:
+            cnt = int(self._mult[0])
+            return [cnt] * len(rows)
+        lookup = self._vocab.lookup
+        present: List[int] = []
+        encoded: List[Tuple[int, ...]] = []
+        for i, row in enumerate(rows):
+            codes = tuple(lookup(value) for value in row)
+            if None not in codes:
+                present.append(i)
+                encoded.append(codes)
+        if not present:
+            return out
+        qarrays = [
+            np.asarray([codes[j] for codes in encoded], dtype=np.int64)
+            for j in range(self._schema.arity)
+        ]
+        lkey, rkey = _pack_keys(list(self._codes), qarrays)
+        lidx, ridx = _match_pairs(lkey, rkey)
+        for li, ri in zip(lidx.tolist(), ridx.tolist()):
+            out[present[ri]] = int(self._mult[li])
+        return out
+
     def is_empty(self) -> bool:
         """True iff the bag holds no tuples."""
         return self._mult.size == 0

@@ -107,6 +107,19 @@ class Relation:
         """Multiplicity of ``row`` (0 if absent)."""
         return self._counts.get(tuple(row), 0)
 
+    def multiplicities(self, rows: Sequence[Sequence[object]]) -> list:
+        """Bulk :meth:`multiplicity` lookup: one count per input row.
+
+        Batched update compaction probes the pre-batch multiplicity of
+        every mixed-sign tuple at once; the columnar backend answers the
+        same call with a single vectorized key probe."""
+        out = []
+        for row in rows:
+            row = tuple(row)
+            self._check_row(row)
+            out.append(self._counts.get(row, 0))
+        return out
+
     def is_empty(self) -> bool:
         """True iff the bag holds no tuples."""
         return not self._counts

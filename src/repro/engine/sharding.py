@@ -45,6 +45,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.engine.columnar import ColumnarRelation, _Vocabulary
+from repro.engine.operators import difference, union_all
 from repro.engine.relation import Relation
 from repro.engine.schema import Schema
 from repro.exceptions import InternalError
@@ -445,6 +446,111 @@ class ShardMap:
         if purged:
             self._sweep_bases()
         return entry
+
+    def apply_delta(self, name, new_source, folds) -> bool:
+        """Patch the partitionings under ``name`` with a batch's delta folds.
+
+        ``folds`` is the batch's ordered ``[(delta relation, insert)]``
+        list for this logical source and ``new_source`` the relation
+        object the maintained state just committed.  Each patchable entry
+        re-shards only the delta rows — the deltas co-partition with the
+        cached shards (same attribute, same hash) so every shard folds
+        its own slice via bag union/monus — and is re-keyed to the new
+        source identity, keeping the partitioning warm across commits
+        instead of forcing a full re-shard on the next read.
+
+        Called from commit paths, so it never raises: entries that cannot
+        be patched (shared-memory exports, row-block partitionings,
+        backend or vocabulary-generation mismatches, or any unexpected
+        failure) fall back to plain invalidation, returning ``False`` —
+        the next sharded read rebuilds from ``new_source``.
+        """
+        bucket = self._names.get(name)
+        if not bucket:
+            return True
+        try:
+            for key in list(bucket):
+                entry = self._entries.get(key)
+                if entry is None:
+                    bucket.discard(key)
+                    continue
+                if entry.source is new_source:
+                    # Shared entry already patched under another of its
+                    # names during this commit; patching again would
+                    # double-apply the folds.
+                    continue
+                new_entry = self._patched_entry(entry, new_source, folds)
+                if new_entry is None:
+                    self.invalidate([name])
+                    return False
+                new_key = (id(new_source), key[1], key[2])
+                self._entries.pop(key, None)
+                entry.close()
+                self._entries[new_key] = new_entry
+                # Re-key every logical name holding the old partitioning,
+                # so single-atom nodes (same relation object registered as
+                # both "atom:R" and "node:v") stay consistent.
+                for other_bucket in self._names.values():
+                    if key in other_bucket:
+                        other_bucket.discard(key)
+                        other_bucket.add(new_key)
+            self._sweep_bases()
+            return True
+        except Exception:
+            self.invalidate([name])
+            return False
+
+    def _patched_entry(self, entry, new_source, folds):
+        """A new :class:`ShardedRelation` with the folds applied, or
+        ``None`` when this partitioning cannot be patched in place."""
+        attribute = entry.attribute
+        if attribute is None or entry.blocks:
+            return None
+        columnar = isinstance(new_source, ColumnarRelation)
+        shards: List = []
+        for payload in entry.payloads:
+            kind = payload[0]
+            if kind == "col":
+                if not columnar:
+                    return None
+                vocab = new_source._vocab
+                if payload[4] != vocab.generation:
+                    # Conservative: stale-generation codes are rebuilt,
+                    # not patched, so every live payload stays pinned to
+                    # the coordinator's current vocabulary.
+                    return None
+                shard, _ = decode_relation(payload, lambda g: vocab)
+            elif kind == "py":
+                if columnar:
+                    return None
+                shard, _ = decode_relation(payload, lambda g: None)
+            else:
+                # "shm"/"shard" exports live in shared memory the workers
+                # gather from; rebuild those wholesale.
+                return None
+            shards.append(shard)
+        for delta, insert in folds:
+            parts = partition_by_attribute(delta, attribute, entry.n_shards)
+            for i, part in enumerate(parts):
+                if part.is_empty():
+                    continue
+                shards[i] = (
+                    union_all([shards[i], part])
+                    if insert
+                    else difference(shards[i], part)
+                )
+        # Cheap end-to-end invariant: the shards must still concatenate
+        # to the committed relation (catches a stale entry patched with
+        # folds from a database it never reflected).
+        if sum(s.total_count() for s in shards) != new_source.total_count():
+            return None
+        patched = ShardedRelation.__new__(ShardedRelation)
+        patched.source = new_source
+        patched.attribute = attribute
+        patched.n_shards = entry.n_shards
+        patched.blocks = []
+        patched.payloads = tuple(encode_relation(shard) for shard in shards)
+        return patched
 
     def invalidate(self, names) -> None:
         """Drop (and release) every partitioning of the named sources.

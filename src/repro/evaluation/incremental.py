@@ -54,6 +54,16 @@ stream of updates interleaved with count reads never pays for probe
 state it does not use.  This is the engine behind
 :class:`repro.session.PreparedQuery`'s mutation methods.
 
+**Batched streams.**  A whole update stream compacts into per-relation
+signed delta *relations* (:func:`compact_updates`: matching ``+t``/``-t``
+pairs cancel, duplicate tuples coalesce into multiplicities) and
+:meth:`IncrementalEvaluator.apply_batch` folds each delta relation into
+the database and every maintained level in one vectorized pass per
+relation side — the same leaf-to-root/root-to-leaf walks, but carrying a
+bag of tuples instead of one.  The entire batch is staged then committed
+across all components, so a mid-batch failure leaves the evaluator
+bit-identical to its pre-batch state.
+
 Deltas stay non-negative throughout (the update's sign factors out), so
 both relation backends can represent them; columnar ``int64`` overflow
 surfaces as :class:`~repro.exceptions.MultiplicityOverflowError`, exactly
@@ -66,16 +76,90 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.database import Database
-from repro.engine.operators import group_by, join
+from repro.engine.operators import difference, group_by, join, union_all
 from repro.engine.relation import Row
-from repro.evaluation.joinstate import AppliedUpdate, JoinState
+from repro.evaluation.joinstate import AppliedUpdate, JoinState, RelationDelta
 from repro.evaluation.yannakakis import _component_trees
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.jointree import DecompositionTree
-from repro.exceptions import SchemaError, UnknownRelationError
+from repro.exceptions import SchemaError, SessionError, UnknownRelationError
 
 #: Reserved column name carrying the probe index through a batch pass.
 PROBE_ATTRIBUTE = "__probe__"
+
+
+def compact_updates(
+    db: Database, updates: Sequence[Tuple[bool, str, Row]]
+) -> List[RelationDelta]:
+    """Compact an ordered update stream into per-relation signed deltas.
+
+    ``updates`` is a sequence of ``(insert, relation, row)`` triples in
+    application order.  Compaction replays each tuple's sign sequence
+    against its pre-batch database multiplicity with the same clamping
+    the sequential path applies (deleting an absent occurrence is a
+    no-op), then keeps only the *net* change — matching ``+t``/``-t``
+    pairs cancel and duplicate inserts coalesce into one multiplicity.
+    The result is one :class:`RelationDelta` per touched relation (in
+    first-touch order) whose tuples are single-signed and whose minus
+    counts never exceed the pre-batch multiplicity, which is what makes
+    bag monus an exact delta downstream.  Cross-relation order is
+    irrelevant: every derived structure is multilinear in each relation's
+    multiplicity vector, so per-relation nets commute.
+    """
+    by_relation: Dict[str, Dict[Row, List[bool]]] = {}
+    for insert, relation, row in updates:
+        signs_of = by_relation.setdefault(relation, {})
+        signs_of.setdefault(tuple(row), []).append(insert)
+    deltas: List[RelationDelta] = []
+    for relation, signs_of in by_relation.items():
+        base = db.relation(relation)
+        plus: Dict[Row, int] = {}
+        minus: Dict[Row, int] = {}
+        mixed = [row for row, signs in signs_of.items() if not all(signs)]
+        starts = dict(zip(mixed, base.multiplicities(mixed)))
+        for row, signs in signs_of.items():
+            if all(signs):
+                # Pure inserts never clamp: net is just the count, no
+                # multiplicity lookup needed.
+                plus[row] = len(signs)
+                continue
+            start = current = starts[row]
+            for sign in signs:
+                if sign:
+                    current += 1
+                elif current > 0:
+                    current -= 1
+            net = current - start
+            if net > 0:
+                plus[row] = net
+            elif net < 0:
+                minus[row] = -net
+        if plus or minus:
+            deltas.append(RelationDelta(relation, plus, minus))
+    return deltas
+
+
+def _patched_relation(base, delta: RelationDelta):
+    """``base`` with ``delta`` folded in (minus first, then plus).
+
+    Single-tuple sides take the array-level ``add``/``remove`` fast path;
+    larger sides go through one vectorized union/monus kernel pass.
+    After compaction the two sides are tuple-disjoint, so the fold order
+    is mathematically free — minus-first matches the staged join folds.
+    """
+    if delta.minus:
+        if len(delta.minus) == 1:
+            ((row, cnt),) = delta.minus.items()
+            base = base.remove(row, cnt)
+        else:
+            base = difference(base, type(base)(base.schema, dict(delta.minus)))
+    if delta.plus:
+        if len(delta.plus) == 1:
+            ((row, cnt),) = delta.plus.items()
+            base = base.add(row, cnt)
+        else:
+            base = union_all([base, type(base)(base.schema, dict(delta.plus))])
+    return base
 
 
 @dataclass
@@ -403,34 +487,81 @@ class IncrementalEvaluator:
         return self._apply(relation, row, insert=False)
 
     def _apply(self, relation: str, row: Row, insert: bool) -> int:
-        if relation not in self._component_of:
-            raise UnknownRelationError(relation)
-        component = self._components[self._component_of[relation]]
-        self._check_probe_arity(component, relation, [row])
-        base = self._db.relation(relation)
-        # Staged, then committed: every fallible step (including columnar
-        # int64 overflow anywhere on the delta path) runs before the first
-        # cache mutation, so a raising update leaves the evaluator exactly
-        # as it was.
-        new_db = self._db.with_relation(
-            relation, base.add(row) if insert else base.remove(row)
+        delta = RelationDelta(
+            relation,
+            {row: 1} if insert else {},
+            {} if insert else {row: 1},
         )
-        # The delta fold itself lives in the maintained JoinState (it
-        # owns botjoins, topjoins and multiplicity tables alike); the
-        # evaluator only translates the report into staleness marks on
-        # its probe-only caches.  apply_update stages every fallible step
-        # before the first cache mutation, so a raising update leaves the
-        # evaluator exactly as it was.
-        report = component.state.apply_update(relation, row, insert)
-        self._mark_probe_caches_stale(component, report)
+        return self.apply_batch([delta])
+
+    def apply_batch(self, deltas: Sequence[RelationDelta]) -> int:
+        """Commit a compacted batch of delta relations atomically.
+
+        The batch folds into every maintained structure in one vectorized
+        pass per touched relation side: the database relations are patched
+        via union/monus, then each touched component's
+        :class:`JoinState` stages the whole batch against an overlay.
+        Validation and every fallible step (including columnar ``int64``
+        overflow anywhere on a delta path) run before the first cache
+        mutation, so a raising batch leaves the evaluator — counts,
+        sensitivity state, shard partitionings — bit-identical to its
+        pre-batch value.  Returns the maintained ``|Q(D)|``.
+        """
+        deltas = [delta for delta in deltas if not delta.is_empty()]
+        if not deltas:
+            return self._base_count
+        # ---- validate the whole batch before touching anything
+        for delta in deltas:
+            if delta.relation not in self._component_of:
+                raise UnknownRelationError(delta.relation)
+            component = self._components[self._component_of[delta.relation]]
+            self._check_probe_arity(
+                component, delta.relation, list(delta.plus) + list(delta.minus)
+            )
+        for delta in deltas:
+            if not delta.minus:
+                continue
+            rows = list(delta.minus)
+            have = self._db.relation(delta.relation).multiplicities(rows)
+            for row, available in zip(rows, have):
+                if delta.minus[row] > available:
+                    raise SessionError(
+                        f"delta deletes {delta.minus[row]} of {row!r} from "
+                        f"{delta.relation!r} but only {available} exist; "
+                        "compact the update stream against the current "
+                        "database first"
+                    )
+        # ---- stage (all fallible): patched database + join-state overlays
+        new_db = self._db
+        for delta in deltas:
+            new_db = new_db.with_relation(
+                delta.relation,
+                _patched_relation(new_db.relation(delta.relation), delta),
+            )
+        by_component: Dict[int, List[RelationDelta]] = {}
+        for delta in deltas:
+            by_component.setdefault(
+                self._component_of[delta.relation], []
+            ).append(delta)
+        stagings = [
+            (
+                self._components[index],
+                self._components[index].state.stage_update_batch(group),
+            )
+            for index, group in by_component.items()
+        ]
+        # ---- commit (nothing below raises)
+        touched_columns: Set[str] = set()
+        for component, staging in stagings:
+            touched_columns.update(staging.touched_columns)
+            for report in component.state.commit_update_batch(staging):
+                self._mark_probe_caches_stale(component, report)
         # Witness extrapolation reads representative domains across the
-        # whole database, so the *other* components' cached witnesses can
-        # go stale too whenever they share a base column name with the
-        # updated relation (the touched component already dropped its own).
-        updated_columns = component.state.base_columns(relation)
-        for other in self._components:
-            if other is not component:
-                other.state.drop_domain_dependent_witnesses(updated_columns)
+        # whole database, so *every* component's cached witnesses can go
+        # stale when they share a base column name with a touched relation
+        # (the touched components already dropped their own at commit).
+        for component in self._components:
+            component.state.drop_domain_dependent_witnesses(touched_columns)
         self._commit(new_db)
         return self._base_count
 

@@ -44,7 +44,7 @@ one-shot callers build a throwaway instance, sessions keep one alive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.engine.database import Database
 from repro.engine.operators import difference, group_by, join, join_all, union_all
@@ -54,6 +54,7 @@ from repro.engine.sharding import ShardMap
 from repro.evaluation.yannakakis import (
     BoundTree,
     bind,
+    bound_delta,
     compute_botjoins,
     compute_topjoins,
 )
@@ -206,6 +207,92 @@ def build_table(
         else:
             factors.append(group_by(join_all(parts), component.effective))
     return MultiplicityTable(layout.relation, tuple(factors))
+
+
+Row = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class RelationDelta:
+    """A compacted, signed delta relation for one base relation.
+
+    ``plus`` maps tuples to the (positive) multiplicity to insert,
+    ``minus`` to the multiplicity to delete.  After compaction
+    (:func:`repro.evaluation.incremental.compact_updates`) every tuple
+    appears on at most one side, and every ``minus`` count is bounded by
+    the tuple's pre-batch database multiplicity — which is exactly what
+    makes bag monus an *exact* delta at every derived level.
+    """
+
+    relation: str
+    plus: Mapping[Row, int]
+    minus: Mapping[Row, int]
+
+    def is_empty(self) -> bool:
+        return not self.plus and not self.minus
+
+    def tuple_count(self) -> int:
+        """Distinct tuples carried by this delta (both signs)."""
+        return len(self.plus) + len(self.minus)
+
+
+class _BatchStaging:
+    """Uncommitted overlay of a :class:`JoinState` for one update batch.
+
+    Every read during staging goes through this overlay, so fold *k*
+    sees the state produced by folds ``1..k-1`` while the committed
+    structures stay untouched — any exception mid-batch (columnar
+    overflow, say) simply abandons the overlay, leaving the state
+    bit-identical to its pre-batch value.  Within a single fold all
+    overlay reads refer to structures that fold does not change (each
+    derived structure has exactly one changed input per update), so
+    read-before-write ordering inside a fold is immaterial.
+    """
+
+    __slots__ = (
+        "state", "atoms", "nodes", "botjoins", "topjoins", "tables",
+        "reports", "touched_columns", "shard_deltas",
+    )
+
+    def __init__(self, state: "JoinState"):
+        self.state = state
+        self.atoms: Dict[str, Relation] = {}
+        self.nodes: Dict[str, Relation] = {}
+        self.botjoins: Dict[str, Relation] = {}
+        self.topjoins: Dict[str, Relation] = {}
+        self.tables: Dict[str, MultiplicityTable] = {}
+        self.reports: List[AppliedUpdate] = []
+        self.touched_columns: Set[str] = set()
+        #: shard-map name -> [(delta relation, insert)] folds, in order;
+        #: consumed at commit to re-shard only the delta rows.
+        self.shard_deltas: Dict[str, List[Tuple[Relation, bool]]] = {}
+
+    def atom(self, relation: str) -> Relation:
+        got = self.atoms.get(relation)
+        return got if got is not None else self.state.bound.atom_relations[relation]
+
+    def node(self, node_id: str) -> Relation:
+        got = self.nodes.get(node_id)
+        return got if got is not None else self.state.bound.node_relations[node_id]
+
+    def botjoin(self, node_id: str) -> Relation:
+        got = self.botjoins.get(node_id)
+        return got if got is not None else self.state.botjoins[node_id]
+
+    def topjoin(self, node_id: str) -> Optional[Relation]:
+        if node_id in self.topjoins:
+            return self.topjoins[node_id]
+        tops = self.state._topjoins
+        if tops is None:
+            raise InternalError("staging read of unmaterialised topjoins")
+        return tops[node_id]
+
+    def table(self, relation: str) -> MultiplicityTable:
+        got = self.tables.get(relation)
+        return got if got is not None else self.state._tables[relation]
+
+    def record_shard_delta(self, name: str, delta: Relation, insert: bool) -> None:
+        self.shard_deltas.setdefault(name, []).append((delta, insert))
 
 
 @dataclass(frozen=True)
@@ -393,51 +480,156 @@ class JoinState:
         self, relation: str, row: Sequence[object], insert: bool
     ) -> AppliedUpdate:
         """Fold one committed ``±row`` update of ``relation`` into every
-        materialised level of the state.
+        materialised level of the state (a one-delta batch)."""
+        row = tuple(row)
+        delta = RelationDelta(
+            relation,
+            {row: 1} if insert else {},
+            {} if insert else {row: 1},
+        )
+        return self.apply_update_batch([delta])[0]
+
+    def apply_update_batch(
+        self, deltas: Sequence[RelationDelta]
+    ) -> Tuple[AppliedUpdate, ...]:
+        """Fold whole signed delta relations into every materialised level.
+
+        Each delta's minus side folds before its plus side (disjoint
+        tuples after compaction, so the order is mathematically free but
+        matches the single-update monus path exactly).  The entire batch
+        is *staged* against an overlay first and committed in one
+        non-raising sweep — a failure anywhere (unknown structure,
+        columnar ``int64`` overflow) leaves the state bit-identical to
+        its pre-batch value.  Returns one :class:`AppliedUpdate` report
+        per signed fold, in fold order.
+        """
+        return self.commit_update_batch(self.stage_update_batch(deltas))
+
+    def stage_update_batch(self, deltas: Sequence[RelationDelta]) -> _BatchStaging:
+        """Stage a batch into an uncommitted overlay (all fallible work)."""
+        staging = _BatchStaging(self)
+        for delta in deltas:
+            if delta.minus:
+                self._stage_delta_fold(staging, delta.relation, delta.minus, False)
+            if delta.plus:
+                self._stage_delta_fold(staging, delta.relation, delta.plus, True)
+        return staging
+
+    def commit_update_batch(
+        self, staging: _BatchStaging
+    ) -> Tuple[AppliedUpdate, ...]:
+        """Fold a fully-staged batch overlay into committed state.
+
+        Dict assignments only; nothing here raises, so a failure anywhere
+        in staging leaves every committed structure at its pre-batch
+        value.  Committed attributes are assigned here and in ``__init__``
+        only (enforced by lint rule R002).
+        """
+        for relation, atom in staging.atoms.items():
+            self.bound.atom_relations[relation] = atom
+        for node_id, node_relation in staging.nodes.items():
+            self.bound.node_relations[node_id] = node_relation
+        for changed, botjoin in staging.botjoins.items():
+            self.botjoins[changed] = botjoin
+        if self._topjoins is not None:
+            for changed, topjoin in staging.topjoins.items():
+                self._topjoins[changed] = topjoin
+        for rel, table in staging.tables.items():
+            self._tables[rel] = table
+            self.witnesses.pop(rel, None)
+        # Tables aside, any witness whose extrapolated exclusive values
+        # read a representative domain the batch may have moved is stale
+        # too — within this component; the evaluator repeats this for the
+        # other components of a disconnected query.
+        self.drop_domain_dependent_witnesses(staging.touched_columns)
+        if self.shards is not None:
+            self._commit_shard_deltas(staging)
+        return tuple(staging.reports)
+
+    def _commit_shard_deltas(self, staging: _BatchStaging) -> None:
+        """Re-shard only the delta rows of the batch's replaced relations.
+
+        Part of the commit sweep: :meth:`ShardMap.apply_delta` never
+        raises — partitionings it cannot patch (shared-memory exports,
+        backend or vocabulary-generation mismatches) fall back to plain
+        invalidation and are rebuilt lazily on the next sharded read.
+        """
+        topjoins = self._topjoins or {}
+        for name, folds in staging.shard_deltas.items():
+            kind, _, key = name.partition(":")
+            if kind == "atom":
+                new_source = self.bound.atom_relations.get(key)
+            elif kind == "node":
+                new_source = self.bound.node_relations.get(key)
+            elif kind == "bot":
+                new_source = self.botjoins.get(key)
+            else:
+                new_source = topjoins.get(key)
+            if new_source is None:
+                self.shards.invalidate([name])
+                continue
+            self.shards.apply_delta(name, new_source, folds)
+
+    def _stage_delta_fold(
+        self,
+        staging: _BatchStaging,
+        relation: str,
+        rows: Mapping[Row, int],
+        insert: bool,
+    ) -> None:
+        """Stage one single-signed delta relation of ``relation``.
 
         ``|Q(D)|``, every botjoin, every topjoin and every table factor
         are multilinear in each relation's multiplicity vector, and the
-        update changes exactly one input of each derived structure, so
-        each one moves by a small signed delta computed against pre-update
-        state.  The whole walk is *staged* first — any exception (columnar
-        overflow, say) leaves the state exactly as it was — and committed
-        in one non-fallible sweep of dict assignments at the end.
+        fold changes exactly one input of each derived structure — so the
+        whole delta *relation* propagates through the same small join
+        chains the one-tuple fold used, with every read going through the
+        batch overlay (the state after all previous folds).
         """
-        row = tuple(row)
-        bound = self.bound
         tree = self.tree
-        atom = self.query.atom(relation)
         node_id = tree.node_of_relation(relation)
         node = tree.node(node_id)
         multi_atom = len(node.relations) > 1
-        predicate = self.query.selections.get(relation)
-        if predicate is not None:
-            if not predicate(dict(zip(atom.variables, row))):
-                # Filtered out before the join: no cached *join* state
-                # moves — but the row still lands in the database, whose
-                # active domains feed witness extrapolation.
-                self.drop_domain_dependent_witnesses(self._base_columns[relation])
-                return AppliedUpdate(relation, node_id, True, (), multi_atom)
-
-        bound_atom = bound.atom_relations[relation]
-        new_atom = bound_atom.add(row) if insert else bound_atom.remove(row)
-        atom_delta = type(bound_atom)(list(atom.variables), {row: 1})
-        # The node-level delta joins the one-row update with the other
+        # Whatever the selection filter keeps, the rows land in the
+        # database, whose active domains feed witness extrapolation.
+        staging.touched_columns.update(self._base_columns[relation])
+        current_atom = staging.atom(relation)
+        atom_delta = bound_delta(self.query, relation, rows, type(current_atom))
+        if atom_delta.is_empty():
+            staging.reports.append(
+                AppliedUpdate(relation, node_id, True, (), multi_atom)
+            )
+            return
+        if atom_delta.distinct_count() == 1:
+            # Single-tuple fast path: array-level bump instead of a
+            # union/difference kernel pass (keeps one-update batches as
+            # cheap as the historical one-tuple fold).
+            ((row, cnt),) = tuple(atom_delta.items())
+            new_atom = (
+                current_atom.add(row, cnt) if insert else current_atom.remove(row, cnt)
+            )
+        else:
+            new_atom = (
+                union_all([current_atom, atom_delta])
+                if insert
+                else difference(current_atom, atom_delta)
+            )
+        # The node-level delta joins the delta relation with the other
         # atoms materialised in the same node.  For deletes this uses the
-        # *pre-update* state, which is exactly the removed contribution.
+        # pre-fold state, which is exactly the removed contribution.
         node_delta = atom_delta
         if not multi_atom:
             new_node_relation = new_atom
         else:
             for other in node.relations:
                 if other != relation:
-                    node_delta = join(node_delta, bound.atom_relations[other])
+                    node_delta = join(node_delta, staging.atom(other))
             node_parts = [
-                new_atom if rel == relation else bound.atom_relations[rel]
+                new_atom if rel == relation else staging.atom(rel)
                 for rel in node.relations
             ]
             if self.parallel is not None and self.parallel.active:
-                # Full node rejoin is the one big join in an update; fan it
+                # Full node rejoin is the one big join in a fold; fan it
                 # out ephemerally (no cache keys — new_atom is uncommitted,
                 # so a failure here must not touch the shard map).
                 new_node_relation = self.parallel.join_all(node_parts)
@@ -456,21 +648,21 @@ class JoinState:
         while current is not None:
             if previous is None:
                 for child in tree.children(current):
-                    delta = join(delta, self.botjoins[child])
+                    delta = join(delta, staging.botjoin(child))
             else:
-                delta = join(delta, bound.relation(current))
+                delta = join(delta, staging.node(current))
                 path_expanded[current] = delta
                 for child in tree.children(current):
                     if child != previous:
-                        delta = join(delta, self.botjoins[child])
+                        delta = join(delta, staging.botjoin(child))
             delta = group_by(delta, sorted(tree.shared_with_parent(current)))
             if delta.is_empty():
                 break  # joins nothing from here up: no botjoin changes
             path_deltas[current] = delta
             staged_botjoins[current] = (
-                union_all([self.botjoins[current], delta])
+                union_all([staging.botjoin(current), delta])
                 if insert
-                else difference(self.botjoins[current], delta)
+                else difference(staging.botjoin(current), delta)
             )
             previous, current = current, tree.parent(current)
 
@@ -479,8 +671,8 @@ class JoinState:
         topjoin_deltas: Dict[str, Relation] = {}
         if self._topjoins is not None:
             self._stage_topjoin_deltas(
-                node_id, node_delta, path_deltas, path_expanded, insert,
-                staged_topjoins, topjoin_deltas,
+                staging, node_id, node_delta, path_deltas, path_expanded,
+                insert, staged_topjoins, topjoin_deltas,
             )
 
         # ----- stage: the one changed factor of each materialised table
@@ -492,72 +684,37 @@ class JoinState:
             while parent is not None:
                 ancestors[parent] = walk
                 walk, parent = parent, tree.parent(parent)
-            for rel, table in self._tables.items():
+            for rel in self._tables:
                 if rel == relation:
                     continue  # T^i excludes R_i itself: unchanged by design
                 patched = self._stage_table_patch(
-                    rel, table, relation, node_id, ancestors,
+                    staging, rel, relation, node_id, ancestors,
                     atom_delta, path_deltas, topjoin_deltas, insert,
                 )
                 if patched is not None:
                     staged_tables[rel] = patched
 
-        self._commit(
-            relation,
-            node_id,
-            new_atom,
-            new_node_relation,
-            staged_botjoins,
-            staged_topjoins,
-            staged_tables,
+        # ----- merge the fold into the batch overlay
+        staging.atoms[relation] = new_atom
+        staging.nodes[node_id] = new_node_relation
+        staging.botjoins.update(staged_botjoins)
+        staging.topjoins.update(staged_topjoins)
+        staging.tables.update(staged_tables)
+        staging.record_shard_delta(f"atom:{relation}", atom_delta, insert)
+        staging.record_shard_delta(f"node:{node_id}", node_delta, insert)
+        for changed, path_delta in path_deltas.items():
+            staging.record_shard_delta(f"bot:{changed}", path_delta, insert)
+        for changed, topjoin_delta in topjoin_deltas.items():
+            staging.record_shard_delta(f"top:{changed}", topjoin_delta, insert)
+        staging.reports.append(
+            AppliedUpdate(
+                relation, node_id, False, tuple(staged_botjoins), multi_atom
+            )
         )
-        return AppliedUpdate(
-            relation, node_id, False, tuple(staged_botjoins), multi_atom
-        )
-
-    def _commit(
-        self,
-        relation: str,
-        node_id: str,
-        new_atom: Relation,
-        new_node_relation: Relation,
-        staged_botjoins: Dict[str, Relation],
-        staged_topjoins: Dict[str, Relation],
-        staged_tables: Dict[str, MultiplicityTable],
-    ) -> None:
-        """Fold fully-staged update structures into committed state.
-
-        Dict assignments only; nothing here raises, so a failure anywhere
-        in staging leaves every committed structure at its pre-update
-        value.  Committed attributes are assigned here and in ``__init__``
-        only (enforced by lint rule R002).
-        """
-        self.bound.atom_relations[relation] = new_atom
-        self.bound.node_relations[node_id] = new_node_relation
-        for changed, botjoin in staged_botjoins.items():
-            self.botjoins[changed] = botjoin
-        if self._topjoins is not None:
-            for changed, topjoin in staged_topjoins.items():
-                self._topjoins[changed] = topjoin
-        for rel, table in staged_tables.items():
-            self._tables[rel] = table
-            self.witnesses.pop(rel, None)
-        # Tables aside, any witness whose extrapolated exclusive values
-        # read a representative domain the update may have moved is stale
-        # too — within this component; the evaluator repeats this for the
-        # other components of a disconnected query.
-        self.drop_domain_dependent_witnesses(self._base_columns[relation])
-        if self.shards is not None:
-            # Release shard partitionings of the replaced relations now
-            # (identity checks would rebuild them anyway; this just frees
-            # the shared-memory blocks early).  Never raises.
-            stale = {f"atom:{relation}", f"node:{node_id}"}
-            stale.update(f"bot:{changed}" for changed in staged_botjoins)
-            stale.update(f"top:{changed}" for changed in staged_topjoins)
-            self.shards.invalidate(stale)
 
     def _stage_topjoin_deltas(
         self,
+        staging: _BatchStaging,
         node_id: str,
         node_delta: Relation,
         path_deltas: Dict[str, Relation],
@@ -582,9 +739,7 @@ class JoinState:
         deltas prune whole subtrees.
         """
         tree = self.tree
-        bound = self.bound
-        topjoins = self._topjoins
-        if topjoins is None:
+        if self._topjoins is None:
             raise InternalError("topjoin staging requires materialised topjoins")
         pending: List[str] = []
 
@@ -592,10 +747,11 @@ class JoinState:
             if dj.is_empty():
                 return
             deltas[target] = dj
+            old = staging.topjoin(target)
+            if old is None:  # only non-root nodes are ever staged
+                raise InternalError(f"staged topjoin of root node {target}")
             staged[target] = (
-                union_all([topjoins[target], dj])
-                if insert
-                else difference(topjoins[target], dj)
+                union_all([old, dj]) if insert else difference(old, dj)
             )
             pending.append(target)
 
@@ -618,13 +774,13 @@ class JoinState:
                 acc = core
                 for sibling in targets:
                     if sibling != child:
-                        acc = join(acc, self.botjoins[sibling])
+                        acc = join(acc, staging.botjoin(sibling))
                 stage(child, group_by(acc, sorted(tree.shared_with_parent(child))))
 
         # Children of the updated node: the changed input is rel_u.
         if tree.children(node_id):
             core = node_delta
-            own_top = topjoins[node_id]
+            own_top = staging.topjoin(node_id)
             if own_top is not None:
                 core = join(core, own_top)
             fan_out(core, node_id, None)
@@ -639,7 +795,7 @@ class JoinState:
                 # ΔK(prev) ⋈ rel_current was already computed by the
                 # botjoin fold; only the topjoin factor is new here.
                 core = path_expanded[current]
-                parent_top = topjoins[current]
+                parent_top = staging.topjoin(current)
                 if parent_top is not None:
                     core = join(core, parent_top)
                 fan_out(core, current, previous)
@@ -649,13 +805,24 @@ class JoinState:
         while pending:
             parent = pending.pop()
             if tree.children(parent):
-                core = join(deltas[parent], bound.relation(parent))
+                core = join(deltas[parent], staging.node(parent))
                 fan_out(core, parent, None)
+
+    def _staged_part_value(self, staging: _BatchStaging, part: _TablePart) -> Relation:
+        """:meth:`_part_value` through the batch overlay."""
+        if part.kind == "top":
+            top = staging.topjoin(part.key)
+            if top is None:  # layouts never reference the root topjoin
+                raise InternalError(f"table layout references root topjoin {part.key}")
+            return top
+        if part.kind == "bot":
+            return staging.botjoin(part.key)
+        return staging.atom(part.key)
 
     def _stage_table_patch(
         self,
+        staging: _BatchStaging,
         rel: str,
-        table: MultiplicityTable,
         updated_relation: str,
         updated_node: str,
         ancestors: Dict[str, str],
@@ -666,9 +833,11 @@ class JoinState:
     ) -> Optional[MultiplicityTable]:
         """The patched table for ``rel``, or ``None`` when it is unchanged.
 
-        Exactly one symbolic part of the table moved; the patch replaces
-        the one factor containing it with ``factor ± γ(Δpart ⋈ other
-        parts)``, reusing every other factor object untouched.
+        Exactly one symbolic part of the table moved in this fold; the
+        patch replaces the one factor containing it with ``factor ±
+        γ(Δpart ⋈ other parts)``, reusing every other factor object
+        untouched.  All reads go through the overlay, so a fold sees the
+        factors and parts produced by the previous folds of the batch.
         """
         layout = self.layout(rel)
         w = layout.node_id
@@ -684,11 +853,12 @@ class JoinState:
             part_delta = topjoin_deltas.get(w)
         if part_delta is None or part_delta.is_empty():
             return None
+        table = staging.table(rel)
         for index, component in enumerate(layout.components):
             if changed not in component.parts:
                 continue
             parts = [part_delta] + [
-                self._part_value(part)
+                self._staged_part_value(staging, part)
                 for part in component.parts
                 if part != changed
             ]

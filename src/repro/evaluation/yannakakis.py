@@ -98,6 +98,31 @@ def bind(
     )
 
 
+def bound_delta(
+    query: ConjunctiveQuery,
+    relation: str,
+    rows: Mapping[Tuple[object, ...], int],
+    relation_cls,
+) -> Relation:
+    """A signed delta relation bound to ``relation``'s atom.
+
+    Mirrors :meth:`ConjunctiveQuery.bound_relation` for a small update
+    batch: columns are renamed positionally to the atom's variables and
+    the query's selection (if any) filters rows *before* they enter the
+    maintained join state — filtered rows still reach the database, they
+    just contribute nothing to any derived level.
+    """
+    atom = query.atom(relation)
+    predicate = query.selections.get(relation)
+    if predicate is not None:
+        rows = {
+            row: cnt
+            for row, cnt in rows.items()
+            if predicate(dict(zip(atom.variables, row)))
+        }
+    return relation_cls(list(atom.variables), dict(rows))
+
+
 def compute_botjoins(
     bound: BoundTree, parallel=None, shard_cache=None
 ) -> Dict[str, Relation]:

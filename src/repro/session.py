@@ -50,7 +50,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.database import Database
 from repro.engine.parallel import ParallelContext
-from repro.evaluation.incremental import IncrementalEvaluator
+from repro.evaluation.incremental import IncrementalEvaluator, compact_updates
 from repro.evaluation.yannakakis import _component_trees
 from repro.query.classify import is_path_query
 from repro.query.conjunctive import ConjunctiveQuery
@@ -58,10 +58,16 @@ from repro.query.jointree import DecompositionTree
 from repro.core.explain import Explanation, explain as _explain
 from repro.core.general import tsens_from_states
 from repro.core.naive import naive_local_sensitivity
-from repro.core.path import ls_path_join
+from repro.core.path import PathState, ls_path_join
 from repro.core.result import SensitiveTuple, SensitivityResult
 from repro.core.topk import tsens_topk
-from repro.exceptions import InternalError, MechanismConfigError, SessionError
+from repro.exceptions import (
+    InternalError,
+    MechanismConfigError,
+    ReproError,
+    SessionError,
+    UnknownRelationError,
+)
 
 #: Mechanisms the :meth:`PreparedQuery.release` facade dispatches over.
 RELEASE_MECHANISMS: Tuple[str, ...] = ("tsensdp", "flexdp", "privsql")
@@ -218,6 +224,10 @@ class PreparedQuery:
         )
         # Built on first count/update/reeval use.
         self._evaluator: Optional[IncrementalEvaluator] = None
+        # Maintained two-sweep state for ``method="path"`` reads, built on
+        # the first such read and folded under committed batches.  A pure
+        # cache: dropped (never rolled back) when a fold fails.
+        self._path_state: Optional[PathState] = None
         # (kind, config) -> result caches, cleared on every mutation.
         self._results: Dict[Tuple, object] = {}
         self._oracles: Dict[Tuple, object] = {}
@@ -398,6 +408,10 @@ class PreparedQuery:
                 state=state,
             )
         if method == "path":
+            if self._is_path:
+                return ls_path_join(
+                    self._query, self._db, state=self._ensure_path_state()
+                )
             return ls_path_join(self._query, self._db)
         return tsens_from_states(
             self._query, self._db, self._states(), skip_relations=skip
@@ -610,41 +624,98 @@ class PreparedQuery:
         Only the touched leaf-to-root path of the cached join-tree counts
         is recomputed; sensitivity/witness/oracle caches are invalidated.
         """
-        count = self._ensure_evaluator().apply_insert(relation, row)
-        self._after_mutation()
-        return count
+        return self._apply_parsed([(True, relation, tuple(row))])
 
     def delete(self, relation: str, row: Sequence[object]) -> int:
         """Commit ``D ← D \\ {t}`` (no-op when absent); returns ``|Q(D)|``."""
-        count = self._ensure_evaluator().apply_delete(relation, row)
-        self._after_mutation()
-        return count
+        return self._apply_parsed([(False, relation, tuple(row))])
 
     def apply(self, batch: Iterable[Update]) -> int:
-        """Commit a stream of ``("insert"|"delete", relation, row)`` updates.
+        """Commit a stream of ``("insert"|"delete", relation, row)`` updates
+        atomically; returns the maintained count after the whole batch.
 
-        ``"+"`` / ``"-"`` are accepted as op shorthands.  Returns the
-        maintained count after the whole batch; caches are invalidated
-        once, not per element.
+        ``"+"`` / ``"-"`` are accepted as op shorthands.  The stream is
+        *compacted* before execution — per relation, opposite-signed
+        updates of the same tuple cancel (replaying the paper's
+        clamped-delete semantics against the pre-batch database) and
+        same-signed duplicates coalesce — and the surviving signed delta
+        relations fold into every maintained structure in one vectorized
+        pass each.  The batch is all-or-nothing: every element is
+        validated up front, the folds are staged, and a failure anywhere
+        (malformed element, unknown op or relation, count overflow)
+        raises without committing — the session stays bit-identical to
+        its pre-batch state.  On success :attr:`updates_applied` advances
+        by the number of stream elements (compaction is an execution
+        strategy, not a semantic change) and caches are invalidated once,
+        not per element.
         """
+        updates: List[Tuple[bool, str, Tuple[object, ...]]] = []
+        for element in batch:
+            try:
+                op, relation, row = element
+                row = tuple(row)
+            except (TypeError, ValueError):
+                raise SessionError(
+                    f"malformed update {element!r}; expected (op, relation, row)"
+                ) from None
+            if op in _INSERT_OPS:
+                insert = True
+            elif op in _DELETE_OPS:
+                insert = False
+            else:
+                raise SessionError(
+                    f"unknown update op {op!r} (use 'insert' or 'delete')"
+                )
+            updates.append((insert, relation, row))
+        return self._apply_parsed(updates)
+
+    def _apply_parsed(
+        self, updates: List[Tuple[bool, str, Tuple[object, ...]]]
+    ) -> int:
+        """Compact, validate, fold and commit a parsed update stream."""
         evaluator = self._ensure_evaluator()
-        count = evaluator.base_count
-        applied = 0
-        try:
-            for op, relation, row in batch:
-                if op in _INSERT_OPS:
-                    count = evaluator.apply_insert(relation, row)
-                elif op in _DELETE_OPS:
-                    count = evaluator.apply_delete(relation, row)
-                else:
-                    raise SessionError(
-                        f"unknown update op {op!r} (use 'insert' or 'delete')"
-                    )
-                applied += 1
-        finally:
-            if applied:
-                self._after_mutation(applied)
+        if not updates:
+            return evaluator.base_count
+        for _insert, relation, _row in updates:
+            # Checked here (not just in the evaluator) because a batch of
+            # absent-row deletes compacts to nothing and would otherwise
+            # skip the evaluator's own validation.
+            if relation not in self._query.relation_names:
+                raise UnknownRelationError(relation)
+        deltas = compact_updates(evaluator.db, updates)
+        count = evaluator.apply_batch(deltas)
+        self._fold_path_state(deltas)
+        # Even a fully-cancelled batch committed: the database is bitwise
+        # unchanged but the stream elements were applied.
+        self._after_mutation(len(updates))
         return count
+
+    def _ensure_path_state(self) -> PathState:
+        if self._path_state is None:
+            self._path_state = PathState(self._query, self._db)
+        return self._path_state
+
+    def _fold_path_state(self, deltas) -> None:
+        """Fold committed deltas into the maintained path sweeps, if any.
+
+        The evaluator has already committed, so a failing fold must not
+        abort the batch: expected engine errors drop the state (the next
+        ``method="path"`` read rebuilds from :attr:`db`); anything else
+        also drops it but propagates — a genuine bug should not hide
+        behind the cache.
+        """
+        if self._path_state is None:
+            return
+        try:
+            for delta in deltas:
+                self._path_state.apply_relation_delta(
+                    delta.relation, delta.plus, delta.minus
+                )
+        except ReproError:
+            self._path_state = None
+        except Exception:
+            self._path_state = None
+            raise
 
     def _after_mutation(self, n: int = 1) -> None:
         if self._evaluator is None:

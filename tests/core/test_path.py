@@ -143,3 +143,111 @@ class TestSelections:
         path = ls_path_join(filtered, fig3_db)
         naive = naive_local_sensitivity(filtered, fig3_db)
         assert path.local_sensitivity == naive.local_sensitivity
+
+
+class TestPathState:
+    """Maintained two-sweep state: folds == fresh sweeps."""
+
+    @staticmethod
+    def _replay(db, stream):
+        for relation, row, insert in stream:
+            base = db.relation(relation)
+            db = db.with_relation(
+                relation, base.add(row) if insert else base.remove(row)
+            )
+        return db
+
+    def test_maintained_matches_fresh(self, fig3_query, fig3_db):
+        from repro.core.path import PathState
+
+        state = PathState(fig3_query, fig3_db)
+        stream = [
+            ("R1", ("a1", "b2"), True),
+            ("R3", ("c1", "d9"), True),
+            ("R2", ("b2", "c1"), False),
+            ("R1", ("a9", "b9"), True),   # joins nothing downstream
+            ("R3", ("c2", "d2"), False),
+        ]
+        db = fig3_db
+        for relation, row, insert in stream:
+            plus = {row: 1} if insert else {}
+            minus = {} if insert else {row: 1}
+            state.apply_relation_delta(relation, plus, minus)
+            db = self._replay(db, [(relation, row, insert)])
+            maintained = ls_path_join(fig3_query, db, state=state)
+            fresh = ls_path_join(fig3_query, db)
+            assert maintained.local_sensitivity == fresh.local_sensitivity
+            for name in fig3_query.relation_names:
+                assert (
+                    maintained.per_relation[name].sensitivity
+                    == fresh.per_relation[name].sensitivity
+                )
+
+    def test_whole_delta_relations_fold(self, fig3_query, fig3_db):
+        from repro.core.path import PathState
+
+        state = PathState(fig3_query, fig3_db)
+        state.apply_relation_delta(
+            "R2", {("b1", "c2"): 3, ("b9", "c9"): 1}, {("b2", "c1"): 1}
+        )
+        db = fig3_db
+        rel = db.relation("R2").remove(("b2", "c1"))
+        rel = rel.add(("b1", "c2"), 3).add(("b9", "c9"))
+        db = db.with_relation("R2", rel)
+        maintained = ls_path_join(fig3_query, db, state=state)
+        assert maintained.local_sensitivity == (
+            ls_path_join(fig3_query, db).local_sensitivity
+        )
+
+    def test_endpoint_updates(self):
+        """Updates at both path endpoints: position 0 touches only the
+        topjoin sweep, the last position only the botjoin sweep."""
+        from repro.core.path import PathState
+
+        query = parse_query("R1(A,B), R2(B,C), R3(C,D)")
+        db = Database(
+            {
+                "R1": Relation(["A", "B"], [("a1", "b1"), ("a2", "b1")]),
+                "R2": Relation(["B", "C"], [("b1", "c1")]),
+                "R3": Relation(["C", "D"], [("c1", "d1")]),
+            }
+        )
+        state = PathState(query, db)
+        for relation, row, insert in [
+            ("R1", ("a3", "b1"), True),
+            ("R3", ("c1", "d2"), True),
+            ("R3", ("c1", "d1"), False),
+            ("R1", ("a1", "b1"), False),
+        ]:
+            plus = {row: 1} if insert else {}
+            minus = {} if insert else {row: 1}
+            state.apply_relation_delta(relation, plus, minus)
+            base = db.relation(relation)
+            db = db.with_relation(
+                relation, base.add(row) if insert else base.remove(row)
+            )
+            maintained = ls_path_join(query, db, state=state)
+            fresh = ls_path_join(query, db)
+            assert maintained.local_sensitivity == fresh.local_sensitivity
+
+    def test_non_path_query_rejected(self, fig1_query, fig1_db):
+        from repro.core.path import PathState
+
+        with pytest.raises(QueryStructureError):
+            PathState(fig1_query, fig1_db)
+
+    def test_selection_filters_fold(self, fig3_query, fig3_db):
+        from repro.core.path import PathState
+        from repro.query import parse_predicate
+
+        query = fig3_query.with_selection("R2", parse_predicate("B != 'b2'"))
+        state = PathState(query, fig3_db)
+        # A filtered-out insert must not change any sweep, but the row
+        # still lands in the database.
+        state.apply_relation_delta("R2", {("b2", "c1"): 5}, {})
+        db = fig3_db.with_relation(
+            "R2", fig3_db.relation("R2").add(("b2", "c1"), 5)
+        )
+        maintained = ls_path_join(query, db, state=state)
+        fresh = ls_path_join(query, db)
+        assert maintained.local_sensitivity == fresh.local_sensitivity

@@ -320,3 +320,80 @@ class TestSortCache:
         once = join(left, right)
         again = join(left, right)
         assert symmetric_difference_size(once, again) == 0
+
+
+class TestApplyDelta:
+    """Commit-path delta patching of cached partitionings."""
+
+    @staticmethod
+    def _delta_patched_map(cls):
+        from repro.engine import difference
+
+        base = cls(["A", "B"], {(i % 7, i): 1 + i % 3 for i in range(50)})
+        cache = ShardMap()
+        cache.get("bot:n1", base, "A", 4, share=False)
+        delta_plus = cls(["A", "B"], {(3, 100): 2, (5, 101): 1})
+        delta_minus = cls(["A", "B"], {(0, 0): 1})
+        new_source = difference(union_all([base, delta_plus]), delta_minus)
+        folds = [(delta_minus, False), (delta_plus, True)]
+        return cache, base, new_source, folds
+
+    @pytest.mark.parametrize("cls", [Relation, ColumnarRelation])
+    def test_patched_shards_union_to_updated_bag(self, cls):
+        cache, _, new_source, folds = self._delta_patched_map(cls)
+        assert cache.apply_delta("bot:n1", new_source, folds)
+        entry = cache.get("bot:n1", new_source, "A", 4, share=False)
+        # get() found the patched entry current — same object, no rebuild.
+        assert entry.source is new_source
+        total = 0
+        for payload in entry.payloads:
+            shard, _ = decode_relation(
+                payload, lambda g: getattr(new_source, "_vocab", None)
+            )
+            total += shard.total_count()
+            for row, cnt in shard.items():
+                assert new_source.multiplicity(row) == cnt
+        assert total == new_source.total_count()
+
+    @pytest.mark.parametrize("cls", [Relation, ColumnarRelation])
+    def test_shared_entry_not_double_patched(self, cls):
+        cache, base, new_source, folds = self._delta_patched_map(cls)
+        # The same relation object registered under a second logical name
+        # (a single-atom node): both names patch once between them.
+        cache.get("atom:R", base, "A", 4, share=False)
+        assert cache.apply_delta("bot:n1", new_source, folds)
+        assert cache.apply_delta("atom:R", new_source, folds)
+        entry = cache.get("atom:R", new_source, "A", 4, share=False)
+        assert entry.source is new_source
+        total = sum(
+            decode_relation(
+                p, lambda g: getattr(new_source, "_vocab", None)
+            )[0].total_count()
+            for p in entry.payloads
+        )
+        assert total == new_source.total_count()
+
+    def test_shared_memory_export_falls_back_to_invalidate(self):
+        base = ColumnarRelation(["A", "B"], {(i % 5, i): 1 for i in range(30)})
+        cache = ShardMap()
+        cache.get("node:x", base, "A", 2, share=True)
+        delta = ColumnarRelation(["A", "B"], {(1, 99): 1})
+        new_source = union_all([base, delta])
+        assert cache.apply_delta("node:x", new_source, [(delta, True)]) is False
+        assert len(cache) == 0  # invalidated, rebuilt lazily on next get
+
+    def test_unregistered_name_is_a_noop(self):
+        cache = ShardMap()
+        delta = Relation(["A"], {(1,): 1})
+        assert cache.apply_delta("bot:ghost", delta, [(delta, True)])
+        assert len(cache) == 0
+
+    def test_count_mismatch_falls_back(self):
+        # A new_source that the folds cannot explain (stale entry guard).
+        base = Relation(["A", "B"], {(1, 2): 3})
+        cache = ShardMap()
+        cache.get("bot:n1", base, "A", 2, share=False)
+        delta = Relation(["A", "B"], {(1, 3): 1})
+        wrong_source = Relation(["A", "B"], {(1, 2): 3, (1, 3): 5})
+        assert cache.apply_delta("bot:n1", wrong_source, [(delta, True)]) is False
+        assert len(cache) == 0

@@ -214,3 +214,105 @@ class TestOverflowPropagation:
         tree = join_tree_from_parents(query, "R", {"S1": "R", "S2": "R"})
         evaluator = IncrementalEvaluator(query, db, tree=tree)
         assert evaluator.delta("R", ("x",)) == huge * huge
+
+
+class TestCompaction:
+    """compact_updates: delta-log-with-compaction semantics."""
+
+    @staticmethod
+    def _db(counts, backend="python"):
+        return Database({"R": Relation(["A", "B"], counts)}, backend=backend)
+
+    def test_duplicate_inserts_coalesce(self):
+        from repro.evaluation.incremental import compact_updates
+
+        db = self._db({})
+        deltas = compact_updates(
+            db, [(True, "R", (1, 2)), (True, "R", (1, 2)), (True, "R", (3, 4))]
+        )
+        assert len(deltas) == 1
+        assert deltas[0].plus == {(1, 2): 2, (3, 4): 1}
+        assert deltas[0].minus == {}
+
+    def test_insert_then_delete_cancels(self):
+        from repro.evaluation.incremental import compact_updates
+
+        db = self._db({})
+        deltas = compact_updates(
+            db, [(True, "R", (1, 2)), (False, "R", (1, 2))]
+        )
+        assert deltas == []
+
+    def test_delete_clamps_against_pre_batch_multiplicity(self):
+        from repro.evaluation.incremental import compact_updates
+
+        db = self._db({(1, 2): 1})
+        # Two deletes of a singleton: the second is a clamped no-op, so
+        # the net minus is 1 — never 2.
+        deltas = compact_updates(
+            db, [(False, "R", (1, 2)), (False, "R", (1, 2))]
+        )
+        assert deltas[0].minus == {(1, 2): 1}
+        # Absent-row deletes compact to nothing at all.
+        assert compact_updates(db, [(False, "R", (9, 9))]) == []
+
+    def test_delete_insert_reorder_respects_clamping(self):
+        from repro.evaluation.incremental import compact_updates
+
+        db = self._db({})
+        # delete-then-insert on an absent row: the delete clamps first,
+        # so the net is +1 (NOT a cancellation — order inside a relation
+        # matters exactly as much as sequential replay says it does).
+        deltas = compact_updates(
+            db, [(False, "R", (1, 2)), (True, "R", (1, 2))]
+        )
+        assert deltas[0].plus == {(1, 2): 1}
+        assert deltas[0].minus == {}
+
+    def test_mixed_net_signs_split_per_tuple(self):
+        from repro.evaluation.incremental import compact_updates
+
+        db = self._db({(1, 2): 3, (3, 4): 1})
+        deltas = compact_updates(
+            db,
+            [
+                (False, "R", (1, 2)),
+                (False, "R", (1, 2)),
+                (True, "R", (5, 6)),
+                (False, "R", (3, 4)),
+            ],
+        )
+        assert deltas[0].plus == {(5, 6): 1}
+        assert deltas[0].minus == {(1, 2): 2, (3, 4): 1}
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_over_delete_delta_rejected(self, fig1_query, fig1_db, backend):
+        """apply_batch trusts compacted deltas; a hand-built delta that
+        deletes more copies than exist is rejected before any commit."""
+        from repro.evaluation.joinstate import RelationDelta
+        from repro.exceptions import SessionError
+
+        db = fig1_db.with_backend(backend)
+        evaluator = IncrementalEvaluator(fig1_query, db)
+        before = evaluator.base_count
+        bogus = RelationDelta("R1", {}, {("a1", "b1", "c1"): 99})
+        with pytest.raises(SessionError):
+            evaluator.apply_batch([bogus])
+        assert evaluator.base_count == before
+        assert evaluator.db.relation("R1").multiplicity(("a1", "b1", "c1")) == 1
+
+
+class TestBulkMultiplicities:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_single_lookups(self, fig1_db, backend):
+        relation = fig1_db.with_backend(backend).relation("R1")
+        rows = list(relation) + [("zz", "zz", "zz")]
+        assert relation.multiplicities(rows) == [
+            relation.multiplicity(row) for row in rows
+        ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_arity_checked(self, fig1_db, backend):
+        relation = fig1_db.with_backend(backend).relation("R1")
+        with pytest.raises(SchemaError):
+            relation.multiplicities([("a1",)])

@@ -272,3 +272,102 @@ class TestTableLayout:
         layout = table_layout(query, gyo_join_tree(query), "R")
         assert layout.components == ()
         assert layout.effective == ()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBatchFolds:
+    def test_delta_relation_batch_matches_fresh(
+        self, fig1_query, fig1_db, backend
+    ):
+        """One apply_update_batch over whole delta relations lands on the
+        same levels as a fresh rebuild on the mutated database."""
+        from repro.evaluation.joinstate import RelationDelta
+
+        state, db = _state(fig1_query, fig1_db, backend)
+        state.topjoins()
+        for relation in fig1_query.relation_names:
+            state.multiplicity_table(relation)
+        deltas = [
+            RelationDelta(
+                "R1",
+                {("a2", "b2", "c1"): 2, ("a9", "b9", "c9"): 1},
+                {("a1", "b1", "c1"): 1},
+            ),
+            RelationDelta("R3", {("a2", "e3"): 1}, {}),
+            RelationDelta("R2", {}, {("a1", "b1", "d1"): 1}),
+        ]
+        reports = state.apply_update_batch(deltas)
+        # One report per signed fold: R1 contributes two, R3/R2 one each.
+        assert len(reports) == 4
+        for delta in deltas:
+            base = db.relation(delta.relation)
+            for row, cnt in delta.minus.items():
+                base = base.remove(row, cnt)
+            for row, cnt in delta.plus.items():
+                base = base.add(row, cnt)
+            db = db.with_relation(delta.relation, base)
+        _assert_levels_match_fresh(state, fig1_query, db)
+
+    def test_single_update_wrapper_matches_batch(
+        self, fig1_query, fig1_db, backend
+    ):
+        from repro.evaluation.joinstate import RelationDelta
+
+        one, db = _state(fig1_query, fig1_db, backend)
+        batch, _ = _state(fig1_query, fig1_db, backend)
+        one.apply_update("R3", ("a2", "e3"), True)
+        batch.apply_update_batch([RelationDelta("R3", {("a2", "e3"): 1}, {})])
+        assert one.count == batch.count
+        _same_bag(
+            one.bound.atom_relation("R3"), batch.bound.atom_relation("R3")
+        )
+
+
+class TestBatchAtomicity:
+    def test_overflow_mid_batch_commits_nothing(self):
+        """A batch whose second delta overflows must leave every level
+        bit-identical: the first delta's staged folds never commit."""
+        from repro.evaluation.joinstate import RelationDelta
+        from repro.engine.columnar import ColumnarRelation
+
+        big = (2**63 - 1) // 2
+        query = parse_query("R(A,B), S(B,C)")
+        db = Database(
+            {
+                "R": Relation(["A", "B"], {(1, 2): 2}),
+                "S": Relation(["B", "C"], {(2, 3): big}),
+            },
+            backend="columnar",
+        )
+        state = JoinState(query, gyo_join_tree(query), db)
+        state.topjoins()
+        for relation in query.relation_names:
+            state.multiplicity_table(relation)
+        before_count = state.count
+        before_atoms = {
+            relation: state.bound.atom_relation(relation)
+            for relation in query.relation_names
+        }
+        before_bots = dict(state.botjoins)
+        before_tables = {
+            relation: state.multiplicity_table(relation)
+            for relation in query.relation_names
+        }
+        deltas = [
+            RelationDelta("R", {(9, 9): 1}, {}),  # fine on its own
+            RelationDelta("R", {(1, 2): 1}, {}),  # overflows 3 * big
+        ]
+        with pytest.raises(MultiplicityOverflowError):
+            state.apply_update_batch(deltas)
+        assert state.count == before_count
+        for relation in query.relation_names:
+            assert state.bound.atom_relation(relation) is before_atoms[relation]
+            assert state.multiplicity_table(relation) is before_tables[relation]
+        for node_id, bot in state.botjoins.items():
+            assert bot is before_bots[node_id]
+        # Still fully usable afterwards: (9, 9) joins nothing, so the
+        # count is unchanged but the atom did commit this time.
+        report = state.apply_update("R", (9, 9), True)
+        assert not report.filtered
+        assert state.count == before_count
+        assert state.bound.atom_relation("R").multiplicity((9, 9)) == 1

@@ -170,7 +170,11 @@ class TestUpdates:
         session = prepare(fig1_query, fig1_db)
         with pytest.raises(SessionError):
             session.apply([("upsert", "R1", ("a1", "b1", "c1"))])
-        # A partially applied batch still invalidates and stays coherent.
+        # A bad op anywhere in the batch aborts the whole batch: the valid
+        # prefix is NOT committed and the session stays bit-identical to
+        # its pre-batch state.
+        before_count = session.count()
+        before_ls = session.sensitivity().local_sensitivity
         with pytest.raises(SessionError):
             session.apply(
                 [
@@ -178,8 +182,107 @@ class TestUpdates:
                     ("upsert", "R1", ("a1", "b1", "c1")),
                 ]
             )
-        assert session.updates_applied == 1
+        assert session.updates_applied == 0
+        assert session.count() == before_count
+        assert session.sensitivity().local_sensitivity == before_ls
+        assert session.db.relation("R1").multiplicity(("a2", "b2", "c1")) == 0
         assert session.count() == prepare(fig1_query, session.db).count()
+
+    def test_apply_rejects_malformed_element(self, fig1_query, fig1_db):
+        session = prepare(fig1_query, fig1_db)
+        with pytest.raises(SessionError, match="malformed update"):
+            session.apply([("insert", "R1", ("a2", "b2", "c1")), ("insert",)])
+        assert session.updates_applied == 0
+
+    def test_apply_op_shorthands(self, fig1_query, fig1_db):
+        # "+" / "-" are exact aliases of "insert" / "delete".
+        longhand = prepare(fig1_query, fig1_db)
+        shorthand = prepare(fig1_query, fig1_db)
+        stream_long = [
+            ("insert", "R1", ("a2", "b2", "c1")),
+            ("delete", "R2", ("a1", "b1", "d1")),
+        ]
+        stream_short = [
+            ("+", "R1", ("a2", "b2", "c1")),
+            ("-", "R2", ("a1", "b1", "d1")),
+        ]
+        assert shorthand.apply(stream_short) == longhand.apply(stream_long)
+        assert shorthand.updates_applied == longhand.updates_applied == 2
+        assert (
+            shorthand.sensitivity().local_sensitivity
+            == longhand.sensitivity().local_sensitivity
+        )
+
+    def test_apply_compacts_cancelling_pairs(self, fig1_query, fig1_db):
+        session = prepare(fig1_query, fig1_db)
+        before = session.count()
+        count = session.apply(
+            [
+                ("insert", "R1", ("a2", "b2", "c1")),
+                ("delete", "R1", ("a2", "b2", "c1")),
+                ("delete", "R1", ("zz", "zz", "zz")),  # absent: clamped no-op
+            ]
+        )
+        assert count == before
+        # Compaction is an execution strategy, not a semantic change: all
+        # three stream elements committed.
+        assert session.updates_applied == 3
+        assert session.db.relation("R1").multiplicity(("a2", "b2", "c1")) == 0
+        assert session.count() == prepare(fig1_query, session.db).count()
+
+    def test_batch_delete_of_absent_row_is_noop(self, fig1_query, fig1_db):
+        for backend in ("python", "columnar"):
+            session = prepare(fig1_query, fig1_db, backend=backend)
+            before = session.count()
+            assert session.apply([("delete", "R1", ("zz", "zz", "zz"))]) == before
+            assert session.updates_applied == 1
+            # Deleting more copies than exist floors at zero, not negative.
+            session.insert("R1", ("a2", "b2", "c1"))
+            after_ins = session.count()
+            deleted = session.apply(
+                [
+                    ("delete", "R1", ("a2", "b2", "c1")),
+                    ("delete", "R1", ("a2", "b2", "c1")),
+                ]
+            )
+            assert deleted == before
+            assert session.db.relation("R1").multiplicity(("a2", "b2", "c1")) == 0
+            assert after_ins == count_query(
+                fig1_query, fig1_db.add_tuple("R1", ("a2", "b2", "c1"))
+            )
+
+    def test_overflow_mid_batch_rolls_back(self):
+        """A columnar int64 overflow anywhere in the batch aborts the
+        whole batch — count, sensitivity and database stay pre-batch."""
+        from repro.exceptions import MultiplicityOverflowError
+
+        big = (2**63 - 1) // 2
+        query = parse_query("R(A,B), S(B,C)")
+        db = Database(
+            {
+                "R": Relation(["A", "B"], {(1, 2): 2}),
+                "S": Relation(["B", "C"], {(2, 3): big}),
+            },
+            backend="columnar",
+        )
+        session = prepare(query, db)
+        before_count = session.count()
+        before_ls = session.sensitivity().local_sensitivity
+        with pytest.raises(MultiplicityOverflowError):
+            session.apply(
+                [
+                    ("insert", "R", (9, 9)),  # fine on its own
+                    ("insert", "R", (1, 2)),  # 3 * big overflows int64
+                ]
+            )
+        assert session.updates_applied == 0
+        assert session.count() == before_count
+        assert session.sensitivity().local_sensitivity == before_ls
+        assert session.db.relation("R").multiplicity((9, 9)) == 0
+        assert session.db.relation("R").multiplicity((1, 2)) == 2
+        # Still usable: the non-overflowing element commits on its own.
+        session.apply([("insert", "R", (9, 9))])
+        assert session.count() == before_count
 
     def test_db_snapshot_advances(self, fig1_query, fig1_db):
         session = prepare(fig1_query, fig1_db)
