@@ -18,6 +18,7 @@ from repro.analysis.rules.dispatch import DispatchCompletenessRule
 from repro.analysis.rules.invalidation import InvalidateOnMutateRule
 from repro.analysis.rules.overflow import CheckedOverflowRule
 from repro.analysis.rules.privacy import PrivacyTaintRule
+from repro.analysis.rules.serving import EpochLeaseBoundaryRule
 from repro.analysis.rules.staging import StagedCommitRule
 
 _ENTRY_POINT_GROUP = "repro.lint_rules"
@@ -31,6 +32,7 @@ def builtin_rules() -> List[Rule]:
         DispatchCompletenessRule(),
         CheckedOverflowRule(),
         NoBareAssertRule(),
+        EpochLeaseBoundaryRule(),
     ]
 
 

@@ -22,11 +22,20 @@ Five commands cover the library's day-to-day uses:
 ``lint``
     Run the project's static-analysis rules (privacy taint, staged
     commit, cache invalidation, dispatch completeness, checked overflow,
-    no bare asserts) over a source tree; see ``docs/lint-rules.md``.
+    no bare asserts, epoch-lease boundary) over a source tree; see
+    ``docs/lint-rules.md``.
+``serve``
+    Boot the snapshot-epoch session server
+    (:class:`~repro.serve.server.SessionServer`) over a prepared query:
+    concurrent coalesced reads, a single-writer update pipeline, and
+    per-tenant DP budgets over newline-delimited JSON.
+``client``
+    Issue one request against a running ``repro serve`` endpoint and
+    print the response frame.
 
-``sensitivity``, ``count``, ``explain`` and ``bench-session`` all go
-through one shared prepare step (:func:`repro.session.prepare`): load,
-parse, attach selections, plan — then ask the session.
+``sensitivity``, ``count``, ``explain``, ``bench-session`` and ``serve``
+all go through one shared prepare step (:func:`repro.session.prepare`):
+load, parse, attach selections, plan — then ask the session.
 """
 
 from __future__ import annotations
@@ -114,8 +123,12 @@ def _cmd_count(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
     session = _session_from_args(args)
     print(session.explain(skip_relations=tuple(args.skip or ())))
+    print("session stats:")
+    print(json.dumps(session.stats(), indent=2))
     return 0
 
 
@@ -232,6 +245,66 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(result))
     return 0 if result.clean else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import serve
+
+    budgets = {}
+    for spec in args.tenant or ():
+        if "=" not in spec:
+            raise ReproError(
+                f"--tenant needs the form NAME=EPSILON, got {spec!r}"
+            )
+        name, epsilon = spec.split("=", 1)
+        try:
+            budgets[name.strip()] = float(epsilon)
+        except ValueError:
+            raise ReproError(
+                f"--tenant budget must be a number, got {epsilon!r}"
+            ) from None
+    session = _session_from_args(args)
+    server = serve(
+        session,
+        host=args.host,
+        port=args.port,
+        default_epsilon=args.default_epsilon,
+        tenant_budgets=budgets,
+        max_batch=args.max_batch,
+    )
+    server.start_background()
+    print(
+        f"serving {session.query.name} [{session.backend}] on "
+        f"{server.host}:{server.port}",
+        flush=True,
+    )
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        session.close()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeClient
+
+    try:
+        params = json.loads(args.params)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"--params must be a JSON object: {error}") from None
+    if not isinstance(params, dict):
+        raise ReproError("--params must be a JSON object")
+    if args.tenant is not None:
+        params.setdefault("tenant", args.tenant)
+    with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+        payload = client.call(args.op, **params)
+    print(json.dumps(payload, indent=2))
+    return 0
 
 
 def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
@@ -366,6 +439,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog and exit",
     )
     lint.set_defaults(handler=_cmd_lint)
+
+    serve_cmd = subparsers.add_parser(
+        "serve",
+        help="boot the snapshot-epoch session server over a prepared query",
+    )
+    _add_data_arguments(serve_cmd)
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1",
+        help="listen address (default: %(default)s)",
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=0,
+        help="listen port; 0 (default) binds an ephemeral port, echoed "
+             "on stdout once ready",
+    )
+    serve_cmd.add_argument(
+        "--default-epsilon", type=float, default=None, dest="default_epsilon",
+        help="open-door tenant mode: auto-register unknown tenants with "
+             "this total privacy budget (default: strict, pre-registered "
+             "tenants only)",
+    )
+    serve_cmd.add_argument(
+        "--tenant", action="append",
+        help="pre-register a tenant budget as NAME=EPSILON, repeatable",
+    )
+    serve_cmd.add_argument(
+        "--max-batch", type=int, default=4096, dest="max_batch",
+        help="probe-coalescing cap per vectorized pass (default: %(default)s)",
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve)
+
+    client_cmd = subparsers.add_parser(
+        "client", help="issue one request against a running repro serve"
+    )
+    client_cmd.add_argument(
+        "op",
+        choices=[
+            "count", "probe", "sensitivity", "top_k", "explain",
+            "release", "apply", "stats", "epoch", "shutdown",
+        ],
+    )
+    client_cmd.add_argument("--host", default="127.0.0.1")
+    client_cmd.add_argument("--port", type=int, required=True)
+    client_cmd.add_argument(
+        "--params", default="{}",
+        help='JSON object of op parameters, e.g. '
+             '\'{"relation": "R", "rows": [[1, 2]]}\'',
+    )
+    client_cmd.add_argument(
+        "--tenant", default=None, help="tenant id (release requests)"
+    )
+    client_cmd.add_argument("--timeout", type=float, default=60.0)
+    client_cmd.set_defaults(handler=_cmd_client)
 
     return parser
 

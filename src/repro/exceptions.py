@@ -89,6 +89,28 @@ class SessionError(ReproError):
     nor ``"delete"``."""
 
 
+class ServeError(ReproError):
+    """The serving layer (:mod:`repro.serve`) was driven invalidly.
+
+    Examples: reading through a lease that was already released, submitting
+    work to a closed epoch manager or admission queue, or a server-side
+    failure reported back to a client whose error type is not one of the
+    library's own exception classes.
+    """
+
+
+class ProtocolError(ServeError):
+    """A wire message violated the serving protocol.
+
+    Raised for non-JSON lines, missing ``op``/``id`` fields, unknown
+    operations and oversized frames — on either side of the connection.
+    """
+
+
+class TenantError(ServeError):
+    """A multi-tenant request referenced an invalid or unknown tenant."""
+
+
 class InternalError(ReproError):
     """An internal invariant of the library was violated.
 

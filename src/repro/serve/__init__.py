@@ -1,0 +1,35 @@
+"""Snapshot-epoch serving for prepared queries.
+
+Turns a :class:`~repro.session.PreparedQuery` into a long-lived,
+multi-tenant server: readers pin immutable epochs via refcounted leases
+(:mod:`~repro.serve.epochs`), concurrent reads coalesce into shared
+vectorized passes (:mod:`~repro.serve.admission`), DP releases spend
+per-tenant budgets (:mod:`~repro.serve.tenants`), and a stdlib asyncio
+front end speaks newline-delimited JSON (:mod:`~repro.serve.server`,
+:mod:`~repro.serve.protocol`, :mod:`~repro.serve.client`).  See
+``docs/serving.md`` for the architecture and wire reference.
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.client import ServeClient, connect
+from repro.serve.epochs import AppliedBatch, Epoch, EpochLease, EpochManager
+from repro.serve.protocol import MAX_LINE, OPS, PROTOCOL_VERSION
+from repro.serve.server import SessionServer, serve
+from repro.serve.tenants import Tenant, TenantRegistry
+
+__all__ = [
+    "AdmissionQueue",
+    "AppliedBatch",
+    "Epoch",
+    "EpochLease",
+    "EpochManager",
+    "MAX_LINE",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ServeClient",
+    "SessionServer",
+    "Tenant",
+    "TenantRegistry",
+    "connect",
+    "serve",
+]

@@ -1,0 +1,191 @@
+"""Wire protocol for the serving layer: newline-delimited JSON frames.
+
+Stdlib-only by design (``asyncio`` streams + ``json``): one request per
+line, one response per line, every frame a JSON object.  Requests carry
+``id`` (caller-chosen correlation token, echoed back verbatim), ``op``
+(one of :data:`OPS`) and op-specific parameters; responses carry the
+same ``id`` plus either ``ok: true`` with a ``result`` object and the
+``epoch`` the answer was pinned to, or ``ok: false`` with an ``error``
+object (``type`` names a :class:`~repro.exceptions.ReproError` subclass
+the client re-raises).  ``docs/serving.md`` is the full reference; an
+optional FastAPI adapter sketch lives there too — this module stays the
+dependency-free source of truth either way.
+
+Besides framing, this module owns the JSON projections of the library's
+result objects (:class:`~repro.core.result.SensitivityResult`,
+:class:`~repro.core.explain.Explanation`, the DP outcome dataclasses).
+Projections are lossy on purpose: multiplicity tables can be as large as
+the database and never cross the wire.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Dict, Optional, Tuple
+
+from repro import exceptions as _exceptions
+from repro.core.result import SensitiveTuple, SensitivityResult
+from repro.exceptions import ProtocolError, ReproError, ServeError
+
+#: Protocol revision, reported by the ``epoch`` and ``stats`` endpoints.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame (request or response), in bytes.  A probe of
+#: tens of thousands of rows fits comfortably; anything larger should be
+#: chunked by the caller.
+MAX_LINE = 8 * 1024 * 1024
+
+#: Operations the server understands.
+OPS = (
+    "count",
+    "probe",
+    "sensitivity",
+    "top_k",
+    "explain",
+    "release",
+    "apply",
+    "stats",
+    "epoch",
+    "shutdown",
+)
+
+#: Exception classes a response ``error.type`` may name, discovered from
+#: :mod:`repro.exceptions` so the mapping can never drift from the
+#: hierarchy.
+EXCEPTION_TYPES: Dict[str, type] = {
+    name: cls
+    for name, cls in inspect.getmembers(_exceptions, inspect.isclass)
+    if issubclass(cls, ReproError)
+}
+
+
+# ------------------------------------------------------------------ framing
+def encode_frame(payload: Dict[str, object]) -> bytes:
+    """One JSON object -> one ``\\n``-terminated line of UTF-8 bytes."""
+    line = json.dumps(payload, separators=(",", ":"), default=str).encode(
+        "utf-8"
+    )
+    if len(line) > MAX_LINE:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds MAX_LINE={MAX_LINE}"
+        )
+    return line + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict[str, object]:
+    """One received line -> the JSON object it carries."""
+    if len(line) > MAX_LINE:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds MAX_LINE={MAX_LINE}"
+        )
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def parse_request(
+    payload: Dict[str, object],
+) -> Tuple[object, str, Dict[str, object]]:
+    """Split a request frame into ``(id, op, params)``, validating shape."""
+    if "id" not in payload:
+        raise ProtocolError("request frame is missing 'id'")
+    request_id = payload["id"]
+    op = payload.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request frame is missing a string 'op'")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (known: {', '.join(OPS)})")
+    params = {k: v for k, v in payload.items() if k not in ("id", "op")}
+    return request_id, op, params
+
+
+def ok_response(
+    request_id: object, result: object, epoch: Optional[int] = None
+) -> Dict[str, object]:
+    payload: Dict[str, object] = {"id": request_id, "ok": True, "result": result}
+    if epoch is not None:
+        payload["epoch"] = epoch
+    return payload
+
+
+def error_response(request_id: object, exc: BaseException) -> Dict[str, object]:
+    """Project an exception into a response frame (library exception
+    classes keep their names; anything else degrades to ``ServeError``)."""
+    name = type(exc).__name__
+    if name not in EXCEPTION_TYPES:
+        name = "ServeError"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": name, "message": str(exc)},
+    }
+
+
+def raise_remote(error: Dict[str, object]) -> None:
+    """Re-raise a response's ``error`` object client-side.
+
+    The named library exception class is reconstructed with the remote
+    message; classes with richer constructors (or unknown names) degrade
+    to :class:`~repro.exceptions.ServeError` carrying the same text.
+    """
+    name = error.get("type", "ServeError")
+    message = str(error.get("message", "remote error"))
+    cls = EXCEPTION_TYPES.get(str(name), ServeError)
+    try:
+        raise cls(message)
+    except TypeError:
+        raise ServeError(f"{name}: {message}") from None
+
+
+# ------------------------------------------------------------- projections
+def sensitive_tuple_to_dict(witness: SensitiveTuple) -> Dict[str, object]:
+    return {
+        "relation": witness.relation,
+        "sensitivity": witness.sensitivity,
+        "assignment": dict(witness.assignment),
+    }
+
+
+def sensitivity_result_to_dict(result: SensitivityResult) -> Dict[str, object]:
+    """The wire view of a sensitivity result: everything except the
+    multiplicity tables (database-sized; never serialised)."""
+    return {
+        "query_name": result.query_name,
+        "method": result.method,
+        "local_sensitivity": result.local_sensitivity,
+        "witness": (
+            sensitive_tuple_to_dict(result.witness)
+            if result.witness is not None
+            else None
+        ),
+        "per_relation": {
+            name: sensitive_tuple_to_dict(witness)
+            for name, witness in result.per_relation.items()
+        },
+    }
+
+
+def explanation_to_dict(explanation) -> Dict[str, object]:
+    """The wire view of an :class:`~repro.core.explain.Explanation`
+    (a dataclass of dataclasses; ``asdict`` recurses)."""
+    return asdict(explanation)
+
+
+def outcome_to_dict(outcome) -> Dict[str, object]:
+    """The wire view of a DP release outcome: the dataclass fields plus a
+    ``mechanism_outcome`` discriminator naming the concrete class."""
+    if not is_dataclass(outcome):
+        raise ProtocolError(
+            f"cannot serialise release outcome {type(outcome).__name__}"
+        )
+    payload = asdict(outcome)
+    payload["mechanism_outcome"] = type(outcome).__name__
+    return payload

@@ -1,0 +1,117 @@
+"""Multi-tenant privacy budgets for the serving layer.
+
+A DP release is only a real guarantee if the ε spent on each caller's
+behalf is tracked against *that caller's* budget: two tenants sharing
+one accountant would let one exhaust the other's privacy allowance.
+The :class:`TenantRegistry` keeps one
+:class:`~repro.dp.accountant.BudgetAccountant` per tenant, so the
+server's ``release`` endpoint composes sequentially per tenant and
+raises a per-tenant :class:`~repro.exceptions.PrivacyBudgetError` on
+exhaustion — other tenants keep releasing.
+
+Tenants are registered explicitly (:meth:`TenantRegistry.register`) or
+minted on first sight when the registry is constructed with a
+``default_epsilon`` — the open-door mode the ``repro serve`` CLI uses.
+Budget state is intentionally *not* epoch-scoped: privacy loss composes
+over the tenant's entire interaction history, across every update the
+database absorbs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.dp.accountant import BudgetAccountant
+from repro.exceptions import TenantError
+
+
+class Tenant:
+    """One caller: an identifier plus its isolated budget accountant."""
+
+    def __init__(self, tenant_id: str, total_epsilon: float):
+        self.tenant_id = tenant_id
+        self.accountant = BudgetAccountant(total_epsilon)
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-able budget snapshot for the ``stats`` endpoint."""
+        accountant = self.accountant
+        return {
+            "tenant_id": self.tenant_id,
+            "total_epsilon": accountant.total_epsilon,
+            "spent_epsilon": accountant.spent,
+            "remaining_epsilon": accountant.remaining,
+            "ledger": accountant.ledger(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Tenant({self.tenant_id!r}, "
+            f"remaining={self.accountant.remaining:.6g})"
+        )
+
+
+class TenantRegistry:
+    """Thread-safe map of tenant id -> :class:`Tenant`.
+
+    Parameters
+    ----------
+    default_epsilon:
+        When set, an unknown tenant id presented to :meth:`get` is
+        auto-registered with this total budget.  When ``None`` (the
+        strict mode), unknown ids raise
+        :class:`~repro.exceptions.TenantError`.
+    """
+
+    def __init__(self, default_epsilon: Optional[float] = None):
+        self._default_epsilon = default_epsilon
+        self._tenants: Dict[str, Tenant] = {}
+        self._mutex = threading.Lock()
+
+    def register(self, tenant_id: str, total_epsilon: float) -> Tenant:
+        """Create a tenant with an explicit budget; duplicate ids raise."""
+        self._validate_id(tenant_id)
+        with self._mutex:
+            if tenant_id in self._tenants:
+                raise TenantError(f"tenant {tenant_id!r} already registered")
+            tenant = Tenant(tenant_id, total_epsilon)
+            self._tenants[tenant_id] = tenant
+            return tenant
+
+    def get(self, tenant_id: str) -> Tenant:
+        """Look a tenant up, auto-registering in open-door mode."""
+        self._validate_id(tenant_id)
+        with self._mutex:
+            tenant = self._tenants.get(tenant_id)
+            if tenant is None:
+                if self._default_epsilon is None:
+                    raise TenantError(f"unknown tenant {tenant_id!r}")
+                tenant = Tenant(tenant_id, self._default_epsilon)
+                self._tenants[tenant_id] = tenant
+            return tenant
+
+    def _validate_id(self, tenant_id: str) -> None:
+        if not isinstance(tenant_id, str) or not tenant_id:
+            raise TenantError(
+                f"tenant id must be a non-empty string, got {tenant_id!r}"
+            )
+
+    def stats(self) -> List[Dict[str, object]]:
+        """Budget snapshots for every known tenant, id-sorted."""
+        with self._mutex:
+            tenants = sorted(self._tenants.values(), key=lambda t: t.tenant_id)
+        return [tenant.stats() for tenant in tenants]
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._tenants)
+
+    def __contains__(self, tenant_id: str) -> bool:
+        with self._mutex:
+            return tenant_id in self._tenants
+
+    def __repr__(self) -> str:
+        with self._mutex:
+            n = len(self._tenants)
+        open_door = self._default_epsilon is not None
+        return f"TenantRegistry(tenants={n}, open_door={open_door})"

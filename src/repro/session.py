@@ -42,9 +42,23 @@ Quickstart::
     session.insert("R", (1, 2))              # O(path) maintenance
     session.count()                          # maintained, no rebuild
     session.release(1.0, mechanism="tsensdp", primary="R", ell=50)
+
+**Thread safety.**  Every public read (``count``, ``sensitivity``,
+``top_k``, ``most_sensitive``, ``explain``, ``probe``, ``stats``,
+``release``, ``truncation_oracle``) and every mutation (``insert``,
+``delete``, ``apply``) serialises on one re-entrant lock per session
+(:attr:`PreparedQuery.lock`), so a read can never interleave with a
+half-committed update batch: it observes the session either entirely
+before or entirely after any concurrent ``apply``.  Callers needing a
+*sequence* of reads against one consistent snapshot hold the lock
+themselves (``with session.lock: ...``) — or use the epoch-pinned
+serving layer in :mod:`repro.serve`, which builds multi-reader /
+single-writer snapshot semantics on top of this contract.
 """
 
 from __future__ import annotations
+
+import threading
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -206,6 +220,9 @@ class PreparedQuery:
         self._db = db
         self._user_tree = tree
         self._max_width = max_width
+        # One re-entrant lock serialises every public read and mutation;
+        # see the module docstring's thread-safety contract.
+        self._lock = threading.RLock()
         if parallel is not None:
             self._parallel = parallel
             self._owns_parallel = False
@@ -273,6 +290,25 @@ class PreparedQuery:
         """Sharded-execution fan-out (1 = serial)."""
         return self._parallel.workers if self._parallel is not None else 1
 
+    @property
+    def lock(self) -> "threading.RLock":
+        """The session's state lock (re-entrant).
+
+        Every public read and mutation acquires it internally, so single
+        calls are always atomic with respect to a concurrent
+        :meth:`apply`.  Hold it explicitly to make a *sequence* of reads
+        observe one consistent snapshot::
+
+            with session.lock:
+                count = session.count()
+                ls = session.sensitivity().local_sensitivity
+
+        The serving layer's writer thread holds this lock across its
+        fold-and-swap step, which is what pins head-epoch readers to
+        fully committed state.
+        """
+        return self._lock
+
     def close(self) -> None:
         """Release sharded-execution resources.
 
@@ -282,11 +318,12 @@ class PreparedQuery:
         Serial sessions no-op.  Idempotent; reads keep working afterwards
         via the serial path state already materialised.
         """
-        if self._evaluator is not None:
-            for state in self._evaluator.component_states:
-                state.close()
-        if self._owns_parallel and self._parallel is not None:
-            self._parallel.close()
+        with self._lock:
+            if self._evaluator is not None:
+                for state in self._evaluator.component_states:
+                    state.close()
+            if self._owns_parallel and self._parallel is not None:
+                self._parallel.close()
 
     def __enter__(self) -> "PreparedQuery":
         return self
@@ -323,7 +360,29 @@ class PreparedQuery:
 
     def count(self) -> int:
         """``|Q(D)|`` on the current database, from maintained state."""
-        return self._ensure_evaluator().base_count
+        with self._lock:
+            return self._ensure_evaluator().base_count
+
+    def probe(
+        self, relation: str, rows: Sequence[Sequence[object]]
+    ) -> List[int]:
+        """``w(t)`` for every probe tuple — hypothetical count-change
+        magnitudes, from cached join-tree state.
+
+        ``w(t)`` is the number of join results one occurrence of ``t``
+        participates in: inserting one occurrence of ``rows[i]`` into
+        ``relation`` would yield ``count() + probe(...)[i]``, deleting an
+        existing occurrence ``count() - probe(...)[i]``.  All rows ride
+        one probe-id-tagged delta relation through a single leaf-to-root
+        propagation pass (vectorized on the columnar backend), so probing
+        a thousand tuples costs one pass, not a thousand — this is the
+        kernel the serving layer's admission queue coalesces concurrent
+        probe requests onto.  The database is not modified.
+        """
+        with self._lock:
+            return self._ensure_evaluator().delta_batch(
+                relation, [tuple(row) for row in rows]
+            )
 
     def sensitivity(
         self,
@@ -354,11 +413,12 @@ class PreparedQuery:
             top_k,
             reeval_mode if method == "reeval" else None,
         )
-        if key not in self._results:
-            self._results[key] = self._compute_sensitivity(
-                method, skip, top_k, reeval_mode
-            )
-        return self._results[key]  # type: ignore[return-value]
+        with self._lock:
+            if key not in self._results:
+                self._results[key] = self._compute_sensitivity(
+                    method, skip, top_k, reeval_mode
+                )
+            return self._results[key]  # type: ignore[return-value]
 
     def _compute_sensitivity(
         self,
@@ -454,16 +514,81 @@ class PreparedQuery:
         """
         skip = tuple(skip_relations)
         key = ("explain", tuple(sorted(skip)))
-        if key not in self._results:
-            state = self._states()[0] if len(self._pairs) == 1 else None
-            self._results[key] = _explain(
+        with self._lock:
+            if key not in self._results:
+                state = self._states()[0] if len(self._pairs) == 1 else None
+                self._results[key] = _explain(
+                    self._query,
+                    self._db,
+                    tree=self.tree,
+                    skip_relations=skip,
+                    state=state,
+                )
+            return self._results[key]  # type: ignore[return-value]
+
+    def stats(self) -> Dict[str, object]:
+        """Epoch/state metadata for operational monitoring.
+
+        A plain JSON-able dictionary describing the session: execution
+        backend, worker fan-out, per-relation cardinalities, how many
+        updates have been committed, and — once the evaluator exists —
+        which maintained levels each component has materialised (botjoin
+        node count, topjoins, multiplicity tables).  Everything here is
+        structural metadata, not query answers; the server's ``stats``
+        endpoint and ``repro explain`` both surface it.
+        """
+        with self._lock:
+            maintained: List[Dict[str, object]] = []
+            if self._evaluator is not None:
+                for state in self._evaluator.component_states:
+                    maintained.append(
+                        {
+                            "relations": list(state.query.relation_names),
+                            "nodes": len(state.tree.node_ids),
+                            "botjoins": len(state.botjoins),
+                            "topjoins_materialised": state.topjoins_materialised,
+                            "tables_materialised": list(
+                                state.tables_materialised
+                            ),
+                        }
+                    )
+            return {
+                "query": str(self._query),
+                "backend": self.backend,
+                "workers": self.workers,
+                "components": len(self._pairs),
+                "is_path": self._is_path,
+                "relation_cardinalities": {
+                    name: self._db.relation(name).total_count()
+                    for name in self._query.relation_names
+                },
+                "updates_applied": self._updates_applied,
+                "evaluator_built": self._evaluator is not None,
+                "path_state_maintained": self._path_state is not None,
+                "cached_results": len(self._results),
+                "cached_oracles": len(self._oracles),
+                "maintained_components": maintained,
+            }
+
+    def fork(self, db: Optional[Database] = None) -> "PreparedQuery":
+        """A fresh, independent session with this session's configuration.
+
+        Re-plans the same query (deterministically, so the decomposition
+        is identical) over ``db`` — by default the session's *current*
+        snapshot.  The fork shares nothing mutable with its parent: it
+        has its own lock, caches, and maintained state, and always runs
+        serially (``workers=1``).  The serving layer uses forks to answer
+        reads pinned to superseded epochs from their frozen snapshots
+        while the live session advances.
+        """
+        with self._lock:
+            target = self._db if db is None else db
+            return PreparedQuery(
                 self._query,
-                self._db,
-                tree=self.tree,
-                skip_relations=skip,
-                state=state,
+                target,
+                tree=self._user_tree,
+                max_width=self._max_width,
             )
-        return self._results[key]  # type: ignore[return-value]
 
     # -------------------------------------------------------------- releases
     def release(
@@ -544,51 +669,53 @@ class PreparedQuery:
             raise MechanismConfigError(f"ell must be >= 1, got {ell}")
         if mechanism == "flexdp" and not 0 < delta < 1:
             raise MechanismConfigError(f"delta must be in (0,1), got {delta}")
-        if accountant is not None:
-            accountant.spend(epsilon, f"{mechanism}:{primary}")
-        skip = tuple(skip_relations)
-        if mechanism == "tsensdp":
-            # DP runners import the one-shot API whose wrapper lives above
-            # this module; import lazily to avoid an initialisation cycle.
-            from repro.dp.tsensdp import run_tsens_dp
+        with self._lock:
+            if accountant is not None:
+                accountant.spend(epsilon, f"{mechanism}:{primary}")
+            skip = tuple(skip_relations)
+            if mechanism == "tsensdp":
+                # DP runners import the one-shot API whose wrapper lives
+                # above this module; import lazily to avoid an
+                # initialisation cycle.
+                from repro.dp.tsensdp import run_tsens_dp
 
-            return run_tsens_dp(
+                return run_tsens_dp(
+                    self._query,
+                    self._db,
+                    primary,
+                    epsilon,
+                    ell,
+                    tree=self.tree,
+                    skip_relations=skip,
+                    oracle=self.truncation_oracle(primary, skip),
+                    rng=rng,
+                    clamp_nonnegative=clamp_nonnegative,
+                )
+            if mechanism == "flexdp":
+                from repro.dp.flexdp import run_flex_dp
+
+                return run_flex_dp(
+                    self._query,
+                    self._db,
+                    primary,
+                    epsilon,
+                    delta=delta,
+                    tree=self.tree,
+                    rng=rng,
+                    clamp_nonnegative=clamp_nonnegative,
+                )
+            from repro.dp.privsql import run_privsql
+
+            return run_privsql(
                 self._query,
                 self._db,
                 primary,
                 epsilon,
-                ell,
                 tree=self.tree,
-                skip_relations=skip,
-                oracle=self.truncation_oracle(primary, skip),
+                max_threshold=max_threshold,
                 rng=rng,
                 clamp_nonnegative=clamp_nonnegative,
             )
-        if mechanism == "flexdp":
-            from repro.dp.flexdp import run_flex_dp
-
-            return run_flex_dp(
-                self._query,
-                self._db,
-                primary,
-                epsilon,
-                delta=delta,
-                tree=self.tree,
-                rng=rng,
-                clamp_nonnegative=clamp_nonnegative,
-            )
-        from repro.dp.privsql import run_privsql
-
-        return run_privsql(
-            self._query,
-            self._db,
-            primary,
-            epsilon,
-            tree=self.tree,
-            max_threshold=max_threshold,
-            rng=rng,
-            clamp_nonnegative=clamp_nonnegative,
-        )
 
     def truncation_oracle(
         self, primary: str, skip_relations: Iterable[str] = ()
@@ -601,21 +728,23 @@ class PreparedQuery:
 
         skip = tuple(skip_relations)
         key = (primary, tuple(sorted(skip)))
-        if key not in self._oracles:
-            # Both expensive oracle inputs come off the maintained state:
-            # the sensitivity result (tables folded under updates) and the
-            # base count (root botjoins) — the oracle itself only rescans
-            # the primary relation's tuple sensitivities.
-            self._oracles[key] = TruncationOracle(
-                self._query,
-                self._db,
-                primary,
-                tree=self.tree,
-                result=self.sensitivity(skip_relations=skip),
-                skip_relations=skip,
-                base_count=self.count(),
-            )
-        return self._oracles[key]
+        with self._lock:
+            if key not in self._oracles:
+                # Both expensive oracle inputs come off the maintained
+                # state: the sensitivity result (tables folded under
+                # updates) and the base count (root botjoins) — the oracle
+                # itself only rescans the primary relation's tuple
+                # sensitivities.
+                self._oracles[key] = TruncationOracle(
+                    self._query,
+                    self._db,
+                    primary,
+                    tree=self.tree,
+                    result=self.sensitivity(skip_relations=skip),
+                    skip_relations=skip,
+                    base_count=self.count(),
+                )
+            return self._oracles[key]
 
     # --------------------------------------------------------------- updates
     def insert(self, relation: str, row: Sequence[object]) -> int:
@@ -673,22 +802,23 @@ class PreparedQuery:
         self, updates: List[Tuple[bool, str, Tuple[object, ...]]]
     ) -> int:
         """Compact, validate, fold and commit a parsed update stream."""
-        evaluator = self._ensure_evaluator()
-        if not updates:
-            return evaluator.base_count
-        for _insert, relation, _row in updates:
-            # Checked here (not just in the evaluator) because a batch of
-            # absent-row deletes compacts to nothing and would otherwise
-            # skip the evaluator's own validation.
-            if relation not in self._query.relation_names:
-                raise UnknownRelationError(relation)
-        deltas = compact_updates(evaluator.db, updates)
-        count = evaluator.apply_batch(deltas)
-        self._fold_path_state(deltas)
-        # Even a fully-cancelled batch committed: the database is bitwise
-        # unchanged but the stream elements were applied.
-        self._after_mutation(len(updates))
-        return count
+        with self._lock:
+            evaluator = self._ensure_evaluator()
+            if not updates:
+                return evaluator.base_count
+            for _insert, relation, _row in updates:
+                # Checked here (not just in the evaluator) because a batch
+                # of absent-row deletes compacts to nothing and would
+                # otherwise skip the evaluator's own validation.
+                if relation not in self._query.relation_names:
+                    raise UnknownRelationError(relation)
+            deltas = compact_updates(evaluator.db, updates)
+            count = evaluator.apply_batch(deltas)
+            self._fold_path_state(deltas)
+            # Even a fully-cancelled batch committed: the database is
+            # bitwise unchanged but the stream elements were applied.
+            self._after_mutation(len(updates))
+            return count
 
     def _ensure_path_state(self) -> PathState:
         if self._path_state is None:

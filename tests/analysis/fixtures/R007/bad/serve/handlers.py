@@ -1,0 +1,20 @@
+"""Known-bad: serve/ handlers bypassing the epoch-lease boundary."""
+
+from repro.evaluation.joinstate import JoinState  # noqa: F401
+
+
+def handle_count(session):
+    # Direct evaluator access: unpinned, can see a half-folded batch.
+    return session._evaluator.base_count
+
+
+def handle_probe(session, relation, rows):
+    return session._ensure_evaluator().delta_batch(relation, rows)
+
+
+def handle_stats(session):
+    return [
+        len(state.botjoins)
+        for state in session.component_states
+        if isinstance(state, JoinState)
+    ]

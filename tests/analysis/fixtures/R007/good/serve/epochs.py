@@ -1,0 +1,8 @@
+"""Known-good: epochs.py itself owns the boundary and is exempt."""
+
+
+def read(session, fn):
+    # The real epochs.py goes through public session methods, but even
+    # internals are legal here: this module *is* the lease boundary.
+    with session.lock:
+        return fn(session._evaluator)

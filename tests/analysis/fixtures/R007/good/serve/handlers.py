@@ -1,0 +1,17 @@
+"""Known-good: serve/ handlers reading through epoch leases."""
+
+
+def handle_count(manager, lease):
+    return manager.count(lease)
+
+
+def handle_probe(manager, lease, relation, rows):
+    return manager.probe(lease, relation, rows)
+
+
+def handle_stats(manager, lease):
+    return manager.session_stats(lease)
+
+
+def handle_apply(manager, batch):
+    return manager.submit(batch)

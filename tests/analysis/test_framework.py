@@ -152,7 +152,9 @@ class TestRegistry:
     def test_builtin_rules_are_unique_and_complete(self):
         ids = [rule.rule_id for rule in builtin_rules()]
         assert ids == sorted(ids)
-        assert set(ids) == {"R001", "R002", "R003", "R004", "R005", "R006"}
+        assert set(ids) == {
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+        }
 
     def test_load_rules_filter(self):
         assert [r.rule_id for r in load_rules(only=["R006", "R001"])] == [

@@ -17,7 +17,7 @@ from repro.analysis import LintRunner, builtin_rules
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-RULE_IDS = ["R001", "R002", "R003", "R004", "R005", "R006"]
+RULE_IDS = ["R001", "R002", "R003", "R004", "R005", "R006", "R007"]
 
 
 def _rule(rule_id):
@@ -97,6 +97,24 @@ class TestRuleSpecifics:
         rule = _rule("R003")
         assert rule.applies_to(Path("src/repro/session.py"))
         assert not rule.applies_to(Path("src/repro/evaluation/joinstate.py"))
+
+    def test_r007_scoped_to_serve_minus_epochs(self):
+        rule = _rule("R007")
+        assert rule.applies_to(Path("src/repro/serve/server.py"))
+        assert rule.applies_to(Path("src/repro/serve/admission.py"))
+        assert not rule.applies_to(Path("src/repro/serve/epochs.py"))
+        assert not rule.applies_to(Path("tests/serve/test_server.py"))
+        assert not rule.applies_to(Path("src/repro/session.py"))
+
+    def test_r007_counts_each_bypass(self, tmp_path):
+        runner = LintRunner([_rule("R007")])
+        for kind, path in _copied_fixtures("R007", tmp_path):
+            if kind == "bad":
+                messages = [f.message for f in runner.check_file(path)]
+                # evaluation import + JoinState name + _evaluator +
+                # _ensure_evaluator + delta_batch + component_states
+                assert len(messages) == 6
+                assert any("epoch lease" in m for m in messages)
 
 
 class TestSourceTreeContract:

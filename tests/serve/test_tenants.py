@@ -1,0 +1,62 @@
+"""Unit tests for per-tenant budget isolation."""
+
+import pytest
+
+from repro.exceptions import PrivacyBudgetError, TenantError
+from repro.serve import TenantRegistry
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        registry = TenantRegistry()
+        tenant = registry.register("alice", 2.0)
+        assert registry.get("alice") is tenant
+        assert "alice" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_registration_raises(self):
+        registry = TenantRegistry()
+        registry.register("alice", 2.0)
+        with pytest.raises(TenantError):
+            registry.register("alice", 5.0)
+
+    def test_strict_mode_rejects_unknown(self):
+        registry = TenantRegistry()
+        with pytest.raises(TenantError):
+            registry.get("ghost")
+
+    def test_open_door_auto_registers(self):
+        registry = TenantRegistry(default_epsilon=1.5)
+        tenant = registry.get("walk-in")
+        assert tenant.accountant.total_epsilon == 1.5
+        assert registry.get("walk-in") is tenant  # stable identity
+
+    @pytest.mark.parametrize("bad_id", ["", None, 7, ("a",)])
+    def test_invalid_ids_rejected(self, bad_id):
+        registry = TenantRegistry(default_epsilon=1.0)
+        with pytest.raises(TenantError):
+            registry.get(bad_id)
+
+
+class TestIsolation:
+    def test_budgets_are_independent(self):
+        registry = TenantRegistry()
+        alice = registry.register("alice", 1.0)
+        bob = registry.register("bob", 1.0)
+        alice.accountant.spend(1.0, "tsensdp:R")
+        with pytest.raises(PrivacyBudgetError):
+            alice.accountant.spend(0.1, "tsensdp:R")
+        # Alice's exhaustion never touches Bob.
+        bob.accountant.spend(0.5, "tsensdp:R")
+        assert bob.accountant.remaining == pytest.approx(0.5)
+
+    def test_stats_snapshot(self):
+        registry = TenantRegistry()
+        registry.register("bob", 2.0).accountant.spend(0.5, "flexdp:R")
+        registry.register("alice", 1.0)
+        stats = registry.stats()
+        assert [s["tenant_id"] for s in stats] == ["alice", "bob"]
+        bob = stats[1]
+        assert bob["spent_epsilon"] == pytest.approx(0.5)
+        assert bob["remaining_epsilon"] == pytest.approx(1.5)
+        assert bob["ledger"] == {"flexdp:R": pytest.approx(0.5)}

@@ -176,3 +176,99 @@ class TestExplainCommand:
         out = capsys.readouterr().out
         assert "TSens explanation" in out
         assert "multiplicity tables:" in out
+
+
+class TestServeClientCommands:
+    """End-to-end: ``repro serve`` subprocess driven by ``repro client``."""
+
+    @pytest.fixture()
+    def served(self, csv_data):
+        import os
+        import re
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--query", "R(A,B), S(B,C)", "--data", str(csv_data),
+                "--int-columns", "--default-epsilon", "5",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r" on 127\.0\.0\.1:(\d+)", banner)
+            assert match, f"no bound-port banner in {banner!r}"
+            yield int(match.group(1))
+            main(["client", "shutdown", "--port", match.group(1)])
+            assert process.wait(timeout=60) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.stdout.close()
+
+    def test_client_drives_served_session(self, served, capsys):
+        port = str(served)
+        assert main(["client", "count", "--port", port]) == 0
+        frame = json.loads(capsys.readouterr().out)
+        assert frame["ok"] is True
+        assert frame["result"]["count"] == 2
+        assert frame["epoch"] == 0
+
+        assert main([
+            "client", "apply", "--port", port,
+            "--params", '{"batch": [["insert", "R", [5, 2]]]}',
+        ]) == 0
+        frame = json.loads(capsys.readouterr().out)
+        assert frame["result"]["count"] == 3
+        assert frame["epoch"] == 1
+
+        assert main([
+            "client", "release", "--port", port, "--tenant", "alice",
+            "--params",
+            '{"epsilon": 0.5, "mechanism": "tsensdp", "primary": "R", "ell": 5}',
+        ]) == 0
+        frame = json.loads(capsys.readouterr().out)
+        assert frame["result"]["mechanism_outcome"] == "TSensDPOutcome"
+
+        assert main(["client", "stats", "--port", port]) == 0
+        stats = json.loads(capsys.readouterr().out)["result"]
+        assert stats["epochs"]["head_epoch"] == 1
+        assert [t["tenant_id"] for t in stats["tenants"]] == ["alice"]
+
+    def test_client_surfaces_remote_errors(self, served, capsys):
+        code = main([
+            "client", "probe", "--port", str(served),
+            "--params", '{"relation": "Nope", "rows": [[1, 1]]}',
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_client_rejects_malformed_params(self, capsys):
+        code = main([
+            "client", "count", "--port", "1", "--params", "not json",
+        ])
+        assert code == 2
+        assert "JSON object" in capsys.readouterr().err
+
+
+class TestExplainSessionStats:
+    def test_explain_prints_session_stats(self, csv_data, capsys):
+        code = main(
+            ["explain", "--query", "R(A,B), S(B,C)", "--data", str(csv_data)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "session stats:" in out
+        assert '"relation_cardinalities"' in out
+
+    def test_client_reports_unreachable_server(self, capsys):
+        code = main(["client", "count", "--port", "1"])
+        assert code == 2
+        assert "could not connect" in capsys.readouterr().err

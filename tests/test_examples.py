@@ -44,3 +44,11 @@ class TestExamples:
         proc = run_example("truncation_tradeoff.py")
         assert proc.returncode == 0, proc.stderr
         assert "threshold sweep" in proc.stdout
+
+    def test_serve_quickstart(self):
+        proc = run_example("serve_quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "local sensitivity = 2" in proc.stdout
+        assert "TSensDP release" in proc.stdout
+        assert "vectorized passes" in proc.stdout
+        assert "server drained and stopped" in proc.stdout
