@@ -1,12 +1,18 @@
 #!/usr/bin/env python
-"""Render the BENCH_<backend>.json timing trajectory as one table.
+"""Render every BENCH_*.json timing artifact as one trajectory report.
 
 The benchmark conftest merges per-test wall times into
-``benchmarks/BENCH_<backend>.json`` after every successful run.  This
-script is the read side: one row per benchmark, one column per backend,
-plus the python/columnar ratio — so CI logs (and anyone running the
-suite locally) see the performance trajectory instead of a pair of
-opaque JSON blobs.
+``benchmarks/BENCH_<backend>.json`` after every successful run, and the
+script-mode benchmarks record execution-strategy flavours alongside:
+``BENCH_<backend>_w<N>.json`` (per-op sharded, ``bench_sharded.py``),
+``BENCH_<backend>_serve.json`` (epoch server, ``bench_serving.py``) and
+``BENCH_<backend>_pipeline.json`` (worker-resident chains,
+``bench_pipeline.py``).  This script is the read side: it folds all of
+them into one table — one row per benchmark, one column per backend
+flavour, serial first and its strategies beside it — plus a fig-7
+summary that lines the strategies up per workload, so CI logs (and
+anyone running the suite locally) see the performance trajectory
+instead of a pile of opaque JSON blobs.
 
 Run with::
 
@@ -20,10 +26,49 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
+
+#: Known execution-strategy suffixes, in display order after the serial
+#: column.  ``w<N>`` worker counts sort numerically between ``serial``
+#: and ``pipeline``.
+_VARIANT_ORDER = {"serial": (0, 0), "pipeline": (2, 0), "serve": (3, 0)}
+
+#: Where each strategy records the fig-7 per-workload TSens time.
+_FIG7_KEYS = {
+    "serial": "bench_fig7_runtime.py::test_fig7_tsens_time[{q}]",
+    "sharded": "bench_sharded.py::{q}::tsens",
+    "pipeline": "bench_pipeline.py::{q}::tsens",
+}
+
+
+def split_backend(name: str) -> tuple[str, str]:
+    """``"columnar_w2"`` -> ``("columnar", "w2")``; bare names -> serial."""
+    match = re.fullmatch(r"(.+?)_(w\d+|serve|pipeline)", name)
+    if match:
+        return match.group(1), match.group(2)
+    return name, "serial"
+
+
+def _variant_rank(variant: str) -> tuple[int, int]:
+    if variant in _VARIANT_ORDER:
+        return _VARIANT_ORDER[variant]
+    match = re.fullmatch(r"w(\d+)", variant)
+    if match:
+        return (1, int(match.group(1)))
+    return (9, 0)
+
+
+def ordered_backends(reports: dict) -> list[str]:
+    """Serial backends first (alphabetical), each followed by its own
+    strategy flavours: ``w<N>`` (ascending), ``pipeline``, ``serve``."""
+    return sorted(
+        reports, key=lambda b: (split_backend(b)[0],
+                                _variant_rank(split_backend(b)[1]))
+    )
 
 
 def load_reports() -> dict:
@@ -43,11 +88,12 @@ def load_reports() -> dict:
 def render(reports: dict) -> str:
     if not reports:
         return "no BENCH_<backend>.json files found — run the benchmarks first"
-    backends = sorted(reports)
+    backends = ordered_backends(reports)
     tests = sorted({node for timings in reports.values() for node in timings})
     name_width = max(len(t) for t in tests)
+    col_width = max(10, max(len(b) for b in backends))
     header = f"{'benchmark':<{name_width}}" + "".join(
-        f"  {b:>10}" for b in backends
+        f"  {b:>{col_width}}" for b in backends
     )
     show_ratio = {"python", "columnar"} <= set(backends)
     if show_ratio:
@@ -57,7 +103,8 @@ def render(reports: dict) -> str:
         row = f"{test:<{name_width}}"
         for backend in backends:
             seconds = reports[backend].get(test)
-            row += f"  {seconds:>10.3f}" if seconds is not None else f"  {'-':>10}"
+            row += (f"  {seconds:>{col_width}.3f}" if seconds is not None
+                    else f"  {'-':>{col_width}}")
         if show_ratio:
             py = reports["python"].get(test)
             col = reports["columnar"].get(test)
@@ -70,7 +117,53 @@ def render(reports: dict) -> str:
         total = sum(reports[backend].values())
         lines.append(f"total {backend}: {total:.2f}s over "
                      f"{len(reports[backend])} benchmarks")
+    fig7 = render_fig7(reports)
+    if fig7:
+        lines += ["", fig7]
     return "\n".join(lines)
+
+
+def render_fig7(reports: dict) -> str:
+    """Per-workload TSens time, execution strategies side by side.
+
+    Each strategy records the same measurement — a fresh prepared
+    session's count + TSens on the fig-7 workload — under its own node
+    id, so a plain per-node table never lines them up.  This one does:
+    serial (``bench_fig7_runtime``), per-op sharded (``bench_sharded``)
+    and worker-resident chains (``bench_pipeline``), one block per base
+    backend that has at least one strategy flavour recorded.
+    """
+    blocks = []
+    for base in sorted({split_backend(b)[0] for b in reports}):
+        flavours = {
+            split_backend(b)[1]: timings
+            for b, timings in reports.items()
+            if split_backend(b)[0] == base
+        }
+        # serial times live in the base artifact; sharded in any w<N>.
+        strategies = {"serial": flavours.get("serial", {})}
+        for variant in sorted(flavours, key=_variant_rank):
+            if variant.startswith("w"):
+                strategies[f"sharded {variant}"] = flavours[variant]
+            elif variant == "pipeline":
+                strategies["pipeline"] = flavours[variant]
+        if len(strategies) < 2:
+            continue
+        cols = list(strategies)
+        header = f"{base + ' fig-7 tsens':<24}" + "".join(
+            f"  {c:>12}" for c in cols
+        )
+        rows = [header, "-" * len(header)]
+        for q in ("q1", "q2", "q3"):
+            row = f"{q:<24}"
+            for col in cols:
+                kind = "sharded" if col.startswith("sharded") else col
+                seconds = strategies[col].get(_FIG7_KEYS[kind].format(q=q))
+                row += (f"  {seconds:>12.3f}" if seconds is not None
+                        else f"  {'-':>12}")
+            rows.append(row)
+        blocks.append("\n".join(rows))
+    return "\n\n".join(blocks)
 
 
 def main() -> int:

@@ -1,0 +1,89 @@
+"""R008 — resident chains: no coordinator-side materialisation.
+
+The worker-resident fold pipeline's perf contract is that a compiled
+chain's intermediates never visit the coordinator: shards are loaded
+once, every step folds inside the worker arenas, and only final
+per-shard aggregates come back.  One stray ``import_result`` /
+``decode_relation`` / ``to_relation`` / ``_combine`` inside the chain
+driver silently reintroduces the per-op round trip the pipeline exists
+to remove — the code stays correct, the speedup quietly dies, and no
+functional test notices.
+
+This rule pins the contract statically: inside an ``engine/parallel``
+module, the chain-execution classes (:class:`PipelinePlan`,
+:class:`WorkerState`) must not call a materialisation primitive
+anywhere except the two sanctioned reduction points —
+``WorkerState.fetch`` (explicit register materialisation for
+maintenance) and ``WorkerState._reduce_emits`` (the final
+overflow-checked reduction of emitted aggregates).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from repro.analysis.framework import FileContext, Finding, Rule
+
+#: Calls that pull worker output into coordinator memory.
+BANNED_CALLS = frozenset(
+    {"import_result", "decode_relation", "to_relation", "_combine"}
+)
+
+#: Classes that make up the chain-execution layer.
+CHAIN_CLASSES = frozenset({"PipelinePlan", "WorkerState"})
+
+#: The only chain-execution methods allowed to materialise: explicit
+#: register fetch and the final emit reduction.
+ALLOWED_METHODS = frozenset({"fetch", "_reduce_emits"})
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+class ResidentChainMaterialisationRule(Rule):
+    rule_id = "R008"
+    title = "resident chain execution materialises on the coordinator"
+    rationale = (
+        "Chain intermediates must stay in the worker arenas; a "
+        "coordinator-side import_result/decode_relation/to_relation/"
+        "_combine inside PipelinePlan/WorkerState reintroduces the "
+        "per-op round trip and silently forfeits the resident speedup. "
+        "Only fetch and _reduce_emits may materialise."
+    )
+
+    def applies_to(self, path: PurePath) -> bool:
+        return path.name == "parallel.py" and "engine" in path.parts
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.ClassDef)
+                    and node.name in CHAIN_CLASSES):
+                continue
+            for method in node.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if method.name in ALLOWED_METHODS:
+                    continue
+                for call in ast.walk(method):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    name = _call_name(call)
+                    if name in BANNED_CALLS:
+                        yield ctx.finding(
+                            self,
+                            call,
+                            f"{node.name}.{method.name} calls {name}(); "
+                            "chain intermediates must stay worker-"
+                            "resident — materialise only in fetch or "
+                            "_reduce_emits",
+                        )

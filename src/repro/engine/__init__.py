@@ -19,7 +19,13 @@ from repro.engine.backend import (
 )
 from repro.engine.columnar import ColumnarRelation, reset_vocabulary
 from repro.engine.database import Database, ForeignKey
-from repro.engine.parallel import ParallelContext, WorkerPool, default_worker_count
+from repro.engine.parallel import (
+    ParallelContext,
+    PipelinePlan,
+    WorkerPool,
+    WorkerState,
+    default_worker_count,
+)
 from repro.engine.sharding import ShardMap, ShardedRelation
 from repro.engine.operators import (
     cross_product,
@@ -45,11 +51,13 @@ __all__ = [
     "Database",
     "ForeignKey",
     "ParallelContext",
+    "PipelinePlan",
     "Relation",
     "Schema",
     "ShardMap",
     "ShardedRelation",
     "WorkerPool",
+    "WorkerState",
     "backend_of",
     "cross_product",
     "default_worker_count",

@@ -43,7 +43,8 @@ import contextlib
 import multiprocessing
 import os
 import weakref
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,9 +55,14 @@ from repro.engine.relation import Relation
 from repro.engine.sharding import (
     ShardMap,
     ShardedRelation,
+    chain_partition,
     decode_relation,
+    encode_relation,
     encode_result,
+    export_exchange,
+    gather_exchange,
     import_result,
+    release_exchange,
     release_result,
 )
 from repro.exceptions import InternalError, SessionError
@@ -172,6 +178,134 @@ _KERNELS = {
 }
 
 
+# ------------------------------------------------- worker-resident pipelines
+#: Per-worker register arenas, keyed by ``(state_id, shard_id)``.  Each
+#: arena holds this shard's slice of the resident relations a
+#: :class:`WorkerState` tracks on the coordinator; it lives until the
+#: coordinator drops the state (or the worker process dies, which bumps
+#: the pool epoch and invalidates every coordinator handle).
+_WORKER_RESIDENT: Dict[Tuple[str, int], Dict[str, object]] = {}
+
+
+def _chain_segment(payload, resolve):
+    """Execute one pipeline-plan segment against this worker's arena.
+
+    Steps operate on named registers in the arena directly, so registers
+    written by one segment (or a previous plan of the same state) are
+    readable by every later one.  Only emitted aggregates, scatter
+    descriptors and kept-register totals return to the coordinator — the
+    intermediates themselves never leave the worker.
+    """
+    shard_id = payload["shard"]
+    n_shards = payload["n_shards"]
+    arena = _WORKER_RESIDENT.setdefault((payload["state"], shard_id), {})
+    inputs = payload.get("inputs", {})
+    exchanges = payload.get("exchanges", {})
+    out = {"emits": {}, "scatters": {}, "kept": {}}
+    for step in payload["steps"]:
+        op = step[0]
+        if op == "load":
+            # Loads must own their arrays: the register outlives this
+            # task, so a zero-copy view into the transfer segment would
+            # dangle.  import_result copies out and unlinks the segment
+            # (the coordinator disowned it); inline payloads already own
+            # their data.
+            relation_payload = inputs[step[1]]
+            if relation_payload[0] == "shm":
+                arena[step[1]] = import_result(
+                    relation_payload, _worker_vocab(relation_payload[4])
+                )
+            else:
+                arena[step[1]] = resolve(relation_payload)
+        elif op == "join":
+            _, target, left, right = step
+            arena[target] = _operators.join(arena[left], arena[right])
+        elif op == "group":
+            _, target, source, attrs = step
+            arena[target] = _operators.group_by(arena[source], attrs)
+        elif op == "scatter":
+            _, target, source, attribute = step
+            out["scatters"][target] = export_exchange(
+                arena[source], attribute, n_shards
+            )
+        elif op == "collect":
+            arena[step[1]] = gather_exchange(
+                exchanges[step[1]], shard_id, _worker_vocab
+            )
+        elif op == "emit":
+            _, name, source = step
+            out["emits"][name] = encode_result(arena[source])
+        elif op == "keep":
+            _, name, source = step
+            relation = arena[source]
+            arena[name] = relation
+            out["kept"][name] = relation.total_count()
+        elif op == "free":
+            arena.pop(step[1], None)
+        else:
+            raise InternalError(f"unknown pipeline step {op!r}")
+    return out
+
+
+def _chain_state(payload, resolve):
+    """Resident-register maintenance ops: fetch / fold / drop."""
+    op = payload["op"]
+    key = (payload["state"], payload["shard"])
+    arena = _WORKER_RESIDENT.get(key)
+    if op == "drop":
+        names = payload["names"]
+        if arena is not None:
+            if names is None:
+                _WORKER_RESIDENT.pop(key, None)
+            else:
+                for name in names:
+                    arena.pop(name, None)
+        return True
+    name = payload["name"]
+    if arena is None or name not in arena:
+        raise InternalError(
+            f"resident register {name!r} missing from worker arena "
+            f"{key!r}; the coordinator handle is stale"
+        )
+    if op == "fetch":
+        return encode_result(arena[name])
+    if op == "fold":
+        relation = arena[name]
+        attrs = relation.schema.attributes
+        for relation_payload, insert in payload["folds"]:
+            delta = resolve(relation_payload)
+            if delta.is_empty():
+                continue
+            if delta.schema.attributes != attrs:
+                # The staged delta's column order follows its own join
+                # chain, not the resident register's; re-grouping on the
+                # full attribute list is a pure column permutation of the
+                # same bag.
+                if set(delta.schema.attributes) != set(attrs):
+                    raise InternalError(
+                        f"fold delta schema {delta.schema.attributes!r} is "
+                        f"not a permutation of register {name!r} schema "
+                        f"{attrs!r}"
+                    )
+                delta = _operators.group_by(delta, attrs)
+            relation = (
+                _operators.union_all([relation, delta])
+                if insert
+                else _operators.difference(relation, delta)
+            )
+        arena[name] = relation
+        return relation.total_count()
+    raise InternalError(f"unknown state op {op!r}")
+
+
+#: Chain kernels return their own (already encoded / scalar) payloads —
+#: they are dispatched alongside ``_KERNELS`` but skip ``encode_result``.
+_CHAIN_KERNELS = {
+    "chain": _chain_segment,
+    "state": _chain_state,
+}
+
+
 def _execute_task(kind: str, payload) -> Tuple:
     """Run one kernel, attaching/closing shared-memory shards around it.
 
@@ -189,6 +323,8 @@ def _execute_task(kind: str, payload) -> Tuple:
         return relation
 
     try:
+        if kind in _CHAIN_KERNELS:
+            return _CHAIN_KERNELS[kind](payload, resolve)
         return encode_result(_KERNELS[kind](payload, resolve))
     finally:
         # Kernel outputs are fresh arrays and the shard views died with the
@@ -252,6 +388,23 @@ def _shutdown_workers(handles: List[_WorkerHandle]) -> None:
     handles.clear()
 
 
+def _release_task_output(value) -> None:
+    """Unlink whatever shared memory a successful task reply owns.
+
+    Per-op kernels reply with one encoded relation payload; chain
+    segments reply with a dict whose ``emits`` are encoded payloads and
+    whose ``scatters`` are disowned exchange descriptors.  Error paths
+    must walk both shapes or a failed sibling task strands segments.
+    """
+    if isinstance(value, dict):
+        for payload in value.get("emits", {}).values():
+            release_result(payload)
+        for descriptor in value.get("scatters", {}).values():
+            release_exchange(descriptor)
+        return
+    release_result(value)
+
+
 class WorkerPool:
     """``n`` persistent worker processes fed over one pipe each.
 
@@ -273,13 +426,34 @@ class WorkerPool:
         self._mp = multiprocessing.get_context(method)
         self._handles: List[_WorkerHandle] = []
         self._closed = False
+        self._epoch = 0
         self._finalizer = weakref.finalize(self, _shutdown_workers, self._handles)
+
+    @property
+    def epoch(self) -> int:
+        """Incarnation counter: bumps every (re)spawn of the worker set.
+
+        Worker-resident state (:class:`WorkerState` arenas, vocabulary
+        replicas) lives in the worker processes, so a handle created
+        against one epoch is worthless after a restart; holders compare
+        epochs instead of guessing.
+        """
+        return self._epoch
 
     def _ensure_started(self) -> None:
         if self._closed:
             raise SessionError("worker pool is closed")
+        if self._handles and any(
+            not handle.process.is_alive() for handle in self._handles
+        ):
+            # A worker died (crash, OOM kill): the survivors hold arenas
+            # whose peer shards are gone, so the whole set restarts and
+            # the epoch bump tells every holder of resident state that
+            # its registers evaporated.
+            _shutdown_workers(self._handles)
         if self._handles:
             return
+        self._epoch += 1
         for _ in range(self.workers):
             parent_conn, child_conn = self._mp.Pipe()
             process = self._mp.Process(
@@ -310,31 +484,58 @@ class WorkerPool:
         """
         self._ensure_started()
         conns = []
+        pipe_failure: Optional[BaseException] = None
         for index, (kind, payload) in enumerate(tasks):
             conn = self._handles[index % len(self._handles)].conn
-            conn.send((index, kind, payload))
+            try:
+                conn.send((index, kind, payload))
+            except (BrokenPipeError, OSError) as exc:
+                pipe_failure = exc
+                break
             conns.append(conn)
         results: List = [None] * len(tasks)
         failure: Optional[BaseException] = None
         for index, conn in enumerate(conns):
+            if pipe_failure is not None:
+                # A pipe already failed.  The surviving workers still owe
+                # one reply each for tasks already sent; drain those so
+                # their disowned result segments unlink instead of
+                # stranding until interpreter exit.
+                with contextlib.suppress(EOFError, OSError):
+                    if conn.poll(1.0):
+                        _, ok, value = conn.recv()
+                        if ok:
+                            _release_task_output(value)
+                continue
             try:
                 task_id, ok, value = conn.recv()
             except (EOFError, OSError) as exc:
-                raise InternalError(
-                    "sharded worker died mid-task; state is unchanged "
-                    f"(pipe error: {exc!r})"
-                ) from exc
+                pipe_failure = exc
+                continue
             if task_id != index:
-                raise InternalError(
-                    f"worker reply out of order: expected task {index}, got {task_id}"
+                if ok:
+                    _release_task_output(value)
+                pipe_failure = InternalError(
+                    f"worker reply out of order: expected task {index}, "
+                    f"got {task_id}"
                 )
+                continue
             if ok:
                 results[index] = value
             elif failure is None:
                 failure = value
+        if pipe_failure is not None:
+            for value in results:
+                if value is not None:
+                    _release_task_output(value)
+            raise InternalError(
+                "sharded worker died mid-task; coordinator state is "
+                f"unchanged (pipe error: {pipe_failure!r})"
+            ) from pipe_failure
         if failure is not None:
             for value in results:
-                release_result(value)
+                if value is not None:
+                    _release_task_output(value)
             raise failure
         return results
 
@@ -372,6 +573,344 @@ def _combine(parts: List, regroup: bool):
     return Relation._from_counts(first.schema, merged)
 
 
+# ------------------------------------------------- pipeline plans (resident)
+def _split_segments(steps: Sequence[Tuple]) -> List[Tuple[Tuple, ...]]:
+    """Cut a step list into dispatchable segments at exchange barriers.
+
+    A ``collect`` needs the scatter descriptors from *every* shard, so a
+    collect whose exchange was scattered inside the current segment forces
+    a barrier: the segment ends, the coordinator gathers the descriptors
+    from all workers' replies, and the collect opens the next segment.
+    Collects of exchanges scattered in an *earlier* segment already have
+    their descriptors and need no new cut.
+    """
+    segments: List[List[Tuple]] = [[]]
+    scattered: set = set()
+    for step in steps:
+        if step[0] == "collect" and step[1] in scattered:
+            segments.append([])
+            scattered = set()
+        segments[-1].append(step)
+        if step[0] == "scatter":
+            scattered.add(step[1])
+    return [tuple(segment) for segment in segments if segment]
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """A compiled per-shard program over named worker-resident registers.
+
+    ``steps`` is the straight-line program every shard runs (see
+    :func:`_chain_segment` for the step vocabulary).  ``loads`` maps each
+    coordinator-supplied input register to the attribute it is partitioned
+    on; ``reads`` names registers that must already be resident from an
+    earlier plan of the same :class:`WorkerState`; ``keeps`` maps
+    registers left resident after the plan to their partition attribute
+    (the attribute later delta folds co-partition on); ``emits`` names the
+    per-shard aggregates returned to the coordinator.
+    """
+
+    steps: Tuple[Tuple, ...]
+    loads: Mapping[str, str] = field(default_factory=dict)
+    reads: Tuple[str, ...] = ()
+    keeps: Mapping[str, str] = field(default_factory=dict)
+    emits: Tuple[str, ...] = ()
+
+    def segments(self) -> List[Tuple[Tuple, ...]]:
+        return _split_segments(self.steps)
+
+
+class WorkerState:
+    """Coordinator handle over one family of worker-resident registers.
+
+    Each worker process holds shard ``i`` of every register in its own
+    arena (:data:`_WORKER_RESIDENT`), keyed by this state's id; the
+    coordinator tracks only each register's partition attribute and total
+    count.  Registers survive across :meth:`run_plan` calls — that is the
+    point: botjoin partials stay put between the bottom-up and top-down
+    sweeps, and maintained update deltas fold in without re-sharding.
+
+    A pool restart (crashed worker) bumps the pool epoch; this handle
+    notices on the next call and reports its registers gone rather than
+    reading another incarnation's arenas.
+    """
+
+    def __init__(self, context: "ParallelContext", state_id: str):
+        if context._pool is None:
+            raise InternalError("WorkerState needs a multi-worker context")
+        self._context = context
+        self._pool = context._pool
+        self.state_id = state_id
+        self.workers = context.workers
+        #: resident register name -> partition attribute.
+        self.registers: Dict[str, str] = {}
+        self._totals: Dict[str, int] = {}
+        self._epoch: Optional[int] = None
+        self._closed = False
+
+    # ----------------------------------------------------------- liveness
+    def sync_registers(self) -> None:
+        """Reconcile with the pool incarnation; must precede any dispatch.
+
+        Starts (or restarts) the pool, and if the epoch moved — a worker
+        died and the set respawned — forgets every register: the arenas
+        they named died with the old processes.
+        """
+        if self._closed:
+            raise InternalError("WorkerState used after close()")
+        self._pool._ensure_started()
+        if self._epoch != self._pool.epoch:
+            self.registers.clear()
+            self._totals.clear()
+            self._epoch = self._pool.epoch
+
+    def total(self, name: str) -> Optional[int]:
+        return self._totals.get(name)
+
+    # ---------------------------------------------------------- execution
+    def run_plan(self, plan: PipelinePlan, inputs: Mapping[str, object]) -> Dict:
+        """Run one compiled chain across all shards; return reduced emits.
+
+        Inputs are chain-partitioned once on the coordinator; everything
+        after that stays worker-side except exchange descriptors, emitted
+        aggregates and kept-register totals.  On any failure the state's
+        registers are dropped (the arenas may be half-written) and all
+        in-flight shared memory is released before re-raising.
+        """
+        self.sync_registers()
+        missing = [name for name in plan.reads if name not in self.registers]
+        if missing:
+            raise InternalError(
+                f"pipeline plan reads non-resident registers {missing!r} "
+                f"of state {self.state_id!r}"
+            )
+        load_payloads: Dict[str, List] = {}
+        try:
+            for name, attribute in plan.loads.items():
+                relation = inputs[name]
+                if isinstance(relation, ColumnarRelation):
+                    self._context._pin_vocabulary(relation)
+                parts = chain_partition(relation, attribute, self.workers)
+                # encode_result, not encode_relation: big shards ride
+                # shared memory to the workers, which copy out and unlink.
+                load_payloads[name] = [encode_result(part) for part in parts]
+        except BaseException:
+            for payloads in load_payloads.values():
+                for payload in payloads:
+                    release_result(payload)
+            raise
+        emit_parts: Dict[str, List] = {name: [] for name in plan.emits}
+        kept_totals: Dict[str, int] = {}
+        pending: Dict[str, List] = {}
+        consumed_loads: set = set()
+        try:
+            for segment in plan.segments():
+                loads = [step[1] for step in segment if step[0] == "load"]
+                collects = [step[1] for step in segment if step[0] == "collect"]
+                tasks = [
+                    (
+                        "chain",
+                        {
+                            "state": self.state_id,
+                            "shard": shard,
+                            "n_shards": self.workers,
+                            "steps": segment,
+                            "inputs": {
+                                name: load_payloads[name][shard] for name in loads
+                            },
+                            "exchanges": {
+                                name: pending[name] for name in collects
+                            },
+                        },
+                    )
+                    for shard in range(self.workers)
+                ]
+                results = self._pool.run(tasks)
+                consumed_loads.update(loads)
+                for name in collects:
+                    for descriptor in pending.pop(name):
+                        release_exchange(descriptor)
+                for result in results:
+                    for name, payload in result["emits"].items():
+                        emit_parts[name].append(payload)
+                    for name, descriptor in result["scatters"].items():
+                        pending.setdefault(name, []).append(descriptor)
+                    for name, total in result["kept"].items():
+                        kept_totals[name] = kept_totals.get(name, 0) + total
+        except BaseException:
+            for name, payloads in load_payloads.items():
+                if name not in consumed_loads:
+                    for payload in payloads:
+                        release_result(payload)
+            for descriptors in pending.values():
+                for descriptor in descriptors:
+                    release_exchange(descriptor)
+            for payloads in emit_parts.values():
+                for payload in payloads:
+                    release_result(payload)
+            self.drop()
+            raise
+        # Loaded registers stay in the arenas too (nothing frees a named
+        # register), so later plans may read them; totals are only known
+        # for kept registers.
+        for name, attribute in plan.loads.items():
+            self.registers[name] = attribute
+        for name, attribute in plan.keeps.items():
+            self.registers[name] = attribute
+            self._totals[name] = kept_totals.get(name, 0)
+        return self._reduce_emits(emit_parts)
+
+    def _reduce_emits(self, emit_parts: Dict[str, List]) -> Dict:
+        """Import per-shard emit payloads and reduce each to one relation.
+
+        The overflow-checked regrouping union is always used: disjoint
+        shard outputs union trivially, partial group sums reduce exactly,
+        and nothing depends on the compiler proving disjointness.  This
+        (with :meth:`fetch`) is the *only* place chain execution is
+        allowed to materialise worker output coordinator-side.
+        """
+        reduced: Dict = {}
+        names = list(emit_parts)
+        for position, name in enumerate(names):
+            payloads = emit_parts[name]
+            parts = []
+            for index, payload in enumerate(payloads):
+                try:
+                    parts.append(import_result(payload, self._context._vocab))
+                except BaseException:
+                    for leftover in payloads[index + 1:]:
+                        release_result(leftover)
+                    for later in names[position + 1:]:
+                        for leftover in emit_parts[later]:
+                            release_result(leftover)
+                    raise
+            reduced[name] = _combine(parts, regroup=True) if parts else None
+        return reduced
+
+    # --------------------------------------------------------- maintenance
+    def fetch(self, name: str):
+        """Materialise one resident register on the coordinator.
+
+        Raises :class:`~repro.exceptions.InternalError` when the register
+        is not resident (never seen, dropped, or lost to a pool restart);
+        callers recover by recomputing from source relations.
+        """
+        self.sync_registers()
+        if name not in self.registers:
+            raise InternalError(
+                f"register {name!r} is not resident in state {self.state_id!r}"
+            )
+        payloads = self._pool.run(
+            [
+                (
+                    "state",
+                    {
+                        "op": "fetch",
+                        "state": self.state_id,
+                        "shard": shard,
+                        "name": name,
+                    },
+                )
+                for shard in range(self.workers)
+            ]
+        )
+        return self._reduce_emits({name: payloads})[name]
+
+    def fold_delta(
+        self,
+        name: str,
+        folds: Sequence[Tuple[object, bool]],
+        expected_total: Optional[int] = None,
+    ) -> bool:
+        """Fold a batch's ``(delta, insert)`` list into a resident register.
+
+        Deltas are chain-partitioned on the register's own attribute, so
+        every shard folds exactly its slice — untouched shards receive an
+        empty delta and do no work.  Commit-path semantics: never raises;
+        any failure (or a total-count mismatch against the committed
+        relation) drops the register and returns ``False`` so the next
+        read recomputes.
+        """
+        try:
+            self.sync_registers()
+            attribute = self.registers.get(name)
+            if attribute is None:
+                return False
+            shard_folds: List[List] = [[] for _ in range(self.workers)]
+            for delta, insert in folds:
+                parts = chain_partition(delta, attribute, self.workers)
+                for shard, part in enumerate(parts):
+                    shard_folds[shard].append((encode_relation(part), insert))
+            totals = self._pool.run(
+                [
+                    (
+                        "state",
+                        {
+                            "op": "fold",
+                            "state": self.state_id,
+                            "shard": shard,
+                            "name": name,
+                            "folds": shard_folds[shard],
+                        },
+                    )
+                    for shard in range(self.workers)
+                ]
+            )
+            total = sum(totals)
+            self._totals[name] = total
+            if expected_total is not None and total != expected_total:
+                self.drop([name])
+                return False
+            return True
+        except Exception:
+            self.drop([name])
+            return False
+
+    def drop(self, names: Optional[Sequence[str]] = None) -> None:
+        """Forget registers (all of them by default), worker-side too.
+
+        Never raises — it runs on error paths; if the pool is gone or
+        restarted the arenas are already dead and local bookkeeping is
+        all there is to clear.
+        """
+        if names is None:
+            dropped: Optional[List[str]] = None
+            self.registers.clear()
+            self._totals.clear()
+        else:
+            dropped = [name for name in names if name in self.registers]
+            for name in dropped:
+                self.registers.pop(name, None)
+                self._totals.pop(name, None)
+            if not dropped:
+                return
+        with contextlib.suppress(Exception):
+            pool = self._pool
+            if pool._closed or not pool._handles or pool.epoch != self._epoch:
+                return
+            pool.run(
+                [
+                    (
+                        "state",
+                        {
+                            "op": "drop",
+                            "state": self.state_id,
+                            "shard": shard,
+                            "names": dropped,
+                        },
+                    )
+                    for shard in range(self.workers)
+                ]
+            )
+
+    def close(self) -> None:
+        """Drop every register and retire the handle.  Idempotent."""
+        if self._closed:
+            return
+        self.drop()
+        self._closed = True
+
+
 #: Live contexts consulted by the vocabulary reset guard.
 _LIVE_CONTEXTS: "weakref.WeakSet[ParallelContext]" = weakref.WeakSet()
 
@@ -407,13 +946,19 @@ class ParallelContext:
         workers: int = 1,
         min_shard_rows: int = DEFAULT_MIN_SHARD_ROWS,
         start_method: Optional[str] = None,
+        chains: bool = True,
     ):
         if workers < 1:
             raise SessionError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.min_shard_rows = min_shard_rows
+        #: whether whole fold chains may run worker-resident
+        #: (:meth:`chain_state`); ``False`` pins the PR 7 per-op path,
+        #: which the equivalence suites use as a comparison baseline.
+        self.chains = chains
         self._pool = WorkerPool(workers, start_method) if workers > 1 else None
         self._vocab: Optional[_Vocabulary] = None
+        self._state_counter = 0
         self._closed = False
         if workers > 1:
             _LIVE_CONTEXTS.add(self)
@@ -658,6 +1203,18 @@ class ParallelContext:
     def join_all(self, parts: Sequence, cache=None, keys=None):
         """Left-deep ``r̃join`` fold without a trailing group-by."""
         return self.join_group(parts, None, cache=cache, keys=keys)
+
+    # ------------------------------------------------------ resident chains
+    def chain_state(self) -> Optional[WorkerState]:
+        """A fresh worker-resident register family, or ``None``.
+
+        ``None`` when the context is serial or chains are disabled —
+        callers then stay on the per-op sharded (or serial) path.
+        """
+        if not (self.active and self.chains):
+            return None
+        self._state_counter += 1
+        return WorkerState(self, f"s{id(self)}-{self._state_counter}")
 
 
 def _picklable_predicate(predicate) -> bool:

@@ -38,6 +38,7 @@ invalidation protocol, and at most one live partitioning per key.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import weakref
 from multiprocessing import shared_memory
 from typing import Callable, Dict, List, Optional, Tuple
@@ -83,11 +84,21 @@ class SharedBlock:
     def disown(self) -> None:
         """Close the local mapping *without* unlinking the segment.
 
-        Used on the worker side of the result path: the worker writes its
-        result, disowns the block, and ships the segment name — whoever
-        imports the payload (:func:`import_result`) unlinks it.
+        Used on both sides of the transfer paths: the producer writes its
+        data, disowns the block, and ships the segment name — whoever
+        imports the payload (:func:`import_result` /
+        :func:`gather_exchange`) unlinks it.  Ownership leaves this
+        process entirely, so the local resource tracker must forget the
+        segment too: the eventual unlink may run in a process whose
+        tracker registrations are silenced (workers), and a stale entry
+        makes the tracker warn about — and try to unlink — a segment
+        that is already gone.
         """
         self._finalizer.detach()
+        from multiprocessing import resource_tracker
+
+        with contextlib.suppress(Exception):
+            resource_tracker.unregister(self._shm._name, "shared_memory")
         with contextlib.suppress(OSError, BufferError):
             self._shm.close()
 
@@ -313,6 +324,182 @@ def partition_by_blocks(relation, n_shards: int) -> List:
     ]
 
 
+# ------------------------------------------------------- chain partitioning
+_HASH_MASK = 0x7FFF_FFFF_FFFF_FFFF
+
+
+def stable_hash(value: object) -> int:
+    """Deterministic cross-process hash for chain exchanges.
+
+    The builtin ``hash()`` is per-process randomized for strings, and the
+    worker-resident pipeline re-hashes rows *inside the workers* during
+    peer-to-peer exchanges — two workers must agree on every row's
+    destination shard, so placement cannot depend on ``PYTHONHASHSEED``.
+    Columnar relations never need this (dictionary codes are process-
+    independent); it exists for the python backend's value rows.
+    """
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        return value & _HASH_MASK
+    if isinstance(value, str):
+        data = value.encode("utf-8")
+    elif isinstance(value, bytes):
+        data = value
+    else:
+        data = repr(value).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+def chain_partition(relation, attribute: str, n_shards: int) -> List:
+    """Partition with the *chain* hash (the one workers can reproduce).
+
+    Columnar relations use ``code % n_shards`` exactly like
+    :func:`partition_by_attribute`; python-backend relations use
+    :func:`stable_hash` instead of the randomized builtin, so coordinator-
+    side partitionings (chain loads, resident delta folds) land rows on
+    the same shards as worker-side scatters.
+    """
+    if isinstance(relation, ColumnarRelation):
+        return partition_by_attribute(relation, attribute, n_shards)
+    position = relation.schema.index_of(attribute)
+    buckets: List[Dict] = [{} for _ in range(n_shards)]
+    for row, count in relation.items():
+        buckets[stable_hash(row[position]) % n_shards][row] = count
+    return [Relation._from_counts(relation.schema, bucket) for bucket in buckets]
+
+
+#: Exchange descriptor, produced worker-side by :func:`export_exchange`:
+#: ``("xseg", name, attrs, offsets, generation)`` — one shared-memory
+#: segment holding all ``n_shards`` destination buckets of a columnar
+#: relation back to back (bucket *i* is rows ``offsets[i]:offsets[i+1]``
+#: of the ``(arity + 1, rows)`` matrix); ``("xcol0", attrs, generation)``
+#: — an empty columnar relation (zero-byte segments are illegal);
+#: ``("xpy", attrs, buckets)`` — inline python-backend buckets.
+ExchangeDescriptor = Tuple
+
+
+def export_exchange(relation, attribute: str, n_shards: int) -> ExchangeDescriptor:
+    """Worker-side scatter: bucket ``relation`` by destination shard.
+
+    Columnar rows are sorted by destination and written into **one**
+    shared-memory segment with a bucket-offset table, so the N receiving
+    peers each attach once and copy out exactly their slice — the rows
+    never round-trip through the coordinator, which forwards only this
+    descriptor.  The segment is disowned by the producer; the coordinator
+    unlinks it after the consuming segment completes
+    (:func:`release_exchange`).
+    """
+    if isinstance(relation, ColumnarRelation):
+        attrs = relation.schema.attributes
+        generation = relation._vocab.generation
+        rows = int(relation._mult.size)
+        if rows == 0:
+            return ("xcol0", attrs, generation)
+        position = relation.schema.index_of(attribute)
+        destinations = relation._codes[position] % n_shards
+        order = np.argsort(destinations, kind="stable")
+        counts = np.bincount(destinations, minlength=n_shards)
+        offsets = np.zeros(n_shards + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        arity = len(relation._codes)
+        shm = shared_memory.SharedMemory(create=True, size=8 * rows * (arity + 1))
+        matrix = np.ndarray((arity + 1, rows), dtype=np.int64, buffer=shm.buf)
+        matrix[0, :] = np.take(relation._mult, order)
+        for j, column in enumerate(relation._codes):
+            matrix[j + 1, :] = np.take(column, order)
+        del matrix
+        block = SharedBlock(shm)
+        block.disown()
+        return ("xseg", block.name, attrs, tuple(int(o) for o in offsets), generation)
+    position = relation.schema.index_of(attribute)
+    buckets: List[Dict] = [{} for _ in range(n_shards)]
+    for row, count in relation.items():
+        buckets[stable_hash(row[position]) % n_shards][row] = count
+    return ("xpy", relation.schema.attributes, buckets)
+
+
+def gather_exchange(
+    descriptors,
+    shard_id: int,
+    vocab_for: Callable[[int], _Vocabulary],
+):
+    """Worker-side collect: this shard's bucket from every peer's scatter.
+
+    ``descriptors`` is ordered by source shard (one entry per peer,
+    including the gathering worker's own — reading its own slice back
+    through the segment keeps the protocol uniform).  Slices are copied
+    out and the mappings closed immediately; unlinking is the
+    coordinator's job (:func:`release_exchange`), because a peer may not
+    have attached yet when this worker finishes.
+    """
+    attrs: Optional[Tuple[str, ...]] = None
+    generation: Optional[int] = None
+    code_parts: List[List[np.ndarray]] = []
+    mult_parts: List[np.ndarray] = []
+    py_counts: Optional[Dict] = None
+    for descriptor in descriptors:
+        kind = descriptor[0]
+        if kind == "xseg":
+            _, name, attrs, offsets, generation = descriptor
+            arity = len(attrs)
+            rows = offsets[-1]
+            shm = shared_memory.SharedMemory(name=name)
+            matrix = np.ndarray((arity + 1, rows), dtype=np.int64, buffer=shm.buf)
+            lo, hi = offsets[shard_id], offsets[shard_id + 1]
+            mult_parts.append(np.array(matrix[0, lo:hi]))
+            code_parts.append(
+                [np.array(matrix[j + 1, lo:hi]) for j in range(arity)]
+            )
+            del matrix
+            with contextlib.suppress(OSError, BufferError):
+                shm.close()
+        elif kind == "xcol0":
+            _, attrs, generation = descriptor
+        elif kind == "xpy":
+            _, attrs, buckets = descriptor
+            if py_counts is None:
+                py_counts = {}
+            for row, count in buckets[shard_id].items():
+                py_counts[row] = py_counts.get(row, 0) + count
+        else:
+            raise InternalError(f"unknown exchange descriptor kind {kind!r}")
+    if attrs is None:
+        raise InternalError("exchange collect received no descriptors")
+    if py_counts is not None:
+        return Relation._from_counts(Schema(attrs), py_counts)
+    arity = len(attrs)
+    if not mult_parts:
+        return ColumnarRelation._from_parts(
+            Schema(attrs),
+            [np.empty(0, dtype=np.int64) for _ in range(arity)],
+            np.empty(0, dtype=np.int64),
+            vocab=vocab_for(generation),
+        )
+    codes = [
+        np.concatenate([part[j] for part in code_parts]) for j in range(arity)
+    ]
+    return ColumnarRelation._from_parts(
+        Schema(attrs), codes, np.concatenate(mult_parts), vocab=vocab_for(generation)
+    )
+
+
+def release_exchange(descriptor) -> None:
+    """Coordinator-side: unlink one exchange segment (idempotent).
+
+    Called after the consuming pipeline segment completes — success or
+    failure — so exchange segments never outlive the barrier they carry
+    rows across.
+    """
+    if (
+        isinstance(descriptor, tuple)
+        and descriptor
+        and descriptor[0] == "xseg"
+    ):
+        with contextlib.suppress(OSError, ValueError):
+            _release_block(shared_memory.SharedMemory(name=descriptor[1]))
+
+
 # ---------------------------------------------------------- sharded handles
 class ShardedRelation:
     """One relation hash-partitioned into worker-ready shard payloads.
@@ -391,6 +578,15 @@ class ShardMap:
         #: One export serves every partitioning of that relation object,
         #: whatever the attribute.
         self._bases: Dict[int, Tuple[Payload, Optional[SharedBlock], object]] = {}
+        # Finalizer sweep: a worker death mid-fold raises through the
+        # session without reaching close(), and the per-block SharedBlock
+        # finalizers can be pinned by exception tracebacks referencing the
+        # entries — sweeping the shared containers when the *map* is
+        # collected releases every base export deterministically instead
+        # of stranding the segments until interpreter exit.
+        self._finalizer = weakref.finalize(
+            self, _release_map_state, self._entries, self._names, self._bases
+        )
 
     def _base_for(self, relation: ColumnarRelation) -> Payload:
         rid = id(relation)
@@ -569,15 +765,26 @@ class ShardMap:
         self._sweep_bases()
 
     def close(self) -> None:
-        """Release every cached partitioning and whole-relation export."""
-        for entry in self._entries.values():
-            entry.close()
-        self._entries.clear()
-        self._names.clear()
-        for _, block, _ in self._bases.values():
-            if block is not None:
-                block.close()
-        self._bases.clear()
+        """Release every cached partitioning and whole-relation export.
+
+        Idempotent; runs the same sweep the garbage-collection finalizer
+        would, and disarms it.
+        """
+        _release_map_state(self._entries, self._names, self._bases)
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+def _release_map_state(entries, names, bases) -> None:
+    """Release a :class:`ShardMap`'s shared-memory state (see its
+    ``_finalizer``); module-level so the finalizer holds no reference to
+    the map itself."""
+    for entry in entries.values():
+        entry.close()
+    entries.clear()
+    names.clear()
+    for _, block, _ in bases.values():
+        if block is not None:
+            block.close()
+    bases.clear()

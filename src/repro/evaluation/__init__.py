@@ -4,7 +4,12 @@ from repro.evaluation.incremental import PROBE_ATTRIBUTE, IncrementalEvaluator
 from repro.evaluation.joinstate import AppliedUpdate, JoinState
 from repro.evaluation.yannakakis import (
     BoundTree,
+    ChainUnsupported,
+    ResidentFoldPipeline,
+    ResidentMapping,
     bind,
+    compile_botjoin_chain,
+    compile_topjoin_chain,
     compute_botjoins,
     compute_topjoins,
     count_bound,
@@ -19,10 +24,15 @@ from repro.evaluation.yannakakis import (
 __all__ = [
     "AppliedUpdate",
     "BoundTree",
+    "ChainUnsupported",
     "IncrementalEvaluator",
     "JoinState",
     "PROBE_ATTRIBUTE",
+    "ResidentFoldPipeline",
+    "ResidentMapping",
     "bind",
+    "compile_botjoin_chain",
+    "compile_topjoin_chain",
     "compute_botjoins",
     "compute_topjoins",
     "count_bound",

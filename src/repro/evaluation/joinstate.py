@@ -53,6 +53,7 @@ from repro.engine.schema import Schema
 from repro.engine.sharding import ShardMap
 from repro.evaluation.yannakakis import (
     BoundTree,
+    ResidentFoldPipeline,
     bind,
     bound_delta,
     compute_botjoins,
@@ -360,8 +361,19 @@ class JoinState:
             ShardMap() if parallel is not None and parallel.active else None
         )
         self.bound: BoundTree = bind(query, tree, db, parallel=parallel)
+        #: worker-resident fold pipeline (None = per-op sharded / serial):
+        #: keeps botjoin/topjoin shards inside the worker processes across
+        #: both sweeps and across maintained updates, so only root
+        #: aggregates and lazily-fetched registers cross process
+        #: boundaries.
+        self.resident = ResidentFoldPipeline.try_create(
+            self.bound, parallel, self.shards
+        )
         self.botjoins: Dict[str, Relation] = compute_botjoins(
-            self.bound, parallel=parallel, shard_cache=self.shards
+            self.bound,
+            parallel=parallel,
+            shard_cache=self.shards,
+            resident=self.resident,
         )
         self._topjoins: Optional[Dict[str, Optional[Relation]]] = None
         self._layouts: Dict[str, TableLayout] = {}
@@ -412,6 +424,7 @@ class JoinState:
                 self.botjoins,
                 parallel=self.parallel,
                 shard_cache=self.shards,
+                resident=self.resident,
             )
         return self._topjoins
 
@@ -449,6 +462,8 @@ class JoinState:
         The state itself stays readable — partitionings are rebuilt on
         demand if another sharded read follows.  Idempotent.
         """
+        if self.resident is not None:
+            self.resident.close()
         if self.shards is not None:
             self.shards.close()
 
@@ -546,6 +561,19 @@ class JoinState:
             self._commit_shard_deltas(staging)
         return tuple(staging.reports)
 
+    @staticmethod
+    def _committed_source(mapping, key):
+        """A committed relation for delta patching, without fetching.
+
+        :class:`~repro.evaluation.yannakakis.ResidentMapping` values that
+        are not locally materialised must not be pulled off the workers
+        just to patch a coordinator-side shard cache — ``peek`` returns
+        only what the commit sweep (or an earlier read) already holds.
+        """
+        if hasattr(mapping, "peek"):
+            return mapping.peek(key)
+        return mapping.get(key)
+
     def _commit_shard_deltas(self, staging: _BatchStaging) -> None:
         """Re-shard only the delta rows of the batch's replaced relations.
 
@@ -553,8 +581,13 @@ class JoinState:
         raises — partitionings it cannot patch (shared-memory exports,
         backend or vocabulary-generation mismatches) fall back to plain
         invalidation and are rebuilt lazily on the next sharded read.
+        Worker-resident registers (``node:``/``bot:``/``top:``) fold the
+        same deltas in place via
+        :meth:`~repro.evaluation.yannakakis.ResidentFoldPipeline.fold`,
+        which is equally non-raising: a failed fold drops the register
+        and the next resident read recomputes.
         """
-        topjoins = self._topjoins or {}
+        topjoins = self._topjoins if self._topjoins is not None else {}
         for name, folds in staging.shard_deltas.items():
             kind, _, key = name.partition(":")
             if kind == "atom":
@@ -562,9 +595,11 @@ class JoinState:
             elif kind == "node":
                 new_source = self.bound.node_relations.get(key)
             elif kind == "bot":
-                new_source = self.botjoins.get(key)
+                new_source = self._committed_source(self.botjoins, key)
             else:
-                new_source = topjoins.get(key)
+                new_source = self._committed_source(topjoins, key)
+            if self.resident is not None and kind in ("node", "bot", "top"):
+                self.resident.fold(name, folds, new_source)
             if new_source is None:
                 self.shards.invalidate([name])
                 continue

@@ -541,6 +541,7 @@ class PreparedQuery:
             maintained: List[Dict[str, object]] = []
             if self._evaluator is not None:
                 for state in self._evaluator.component_states:
+                    resident = getattr(state, "resident", None)
                     maintained.append(
                         {
                             "relations": list(state.query.relation_names),
@@ -549,6 +550,14 @@ class PreparedQuery:
                             "topjoins_materialised": state.topjoins_materialised,
                             "tables_materialised": list(
                                 state.tables_materialised
+                            ),
+                            "resident_pipeline": (
+                                resident is not None and resident.enabled
+                            ),
+                            "resident_registers": (
+                                len(resident.state.registers)
+                                if resident is not None and resident.enabled
+                                else 0
                             ),
                         }
                     )

@@ -1,0 +1,38 @@
+"""Known-bad: chain execution materialises worker output mid-chain."""
+
+
+def import_result(payload, vocab):
+    raise NotImplementedError
+
+
+def decode_relation(payload, vocab):
+    raise NotImplementedError
+
+
+def _combine(parts, regroup):
+    raise NotImplementedError
+
+
+class WorkerState:
+    def run_plan(self, plan, inputs):
+        emit_parts = {}
+        for segment in plan.segments():
+            results = self._pool.run(segment)
+            for result in results:
+                # BAD: importing every shard's intermediate back to the
+                # coordinator inside the chain loop — the per-op round
+                # trip the resident pipeline exists to remove.
+                emit_parts[segment] = import_result(result, self._vocab)
+        return emit_parts
+
+    def peek(self, name):
+        # BAD: ad-hoc materialisation outside fetch/_reduce_emits.
+        parts = [decode_relation(p, self._vocab) for p in self._parts[name]]
+        return _combine(parts, regroup=True)
+
+    def fetch(self, name):
+        # fetch is sanctioned; this body alone would be fine.
+        return _combine(
+            [import_result(p, self._vocab) for p in self._parts[name]],
+            regroup=True,
+        )

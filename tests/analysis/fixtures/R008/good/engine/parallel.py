@@ -1,0 +1,46 @@
+"""Known-good: chain execution keeps intermediates worker-resident."""
+
+
+def import_result(payload, vocab):
+    raise NotImplementedError
+
+
+def _combine(parts, regroup):
+    raise NotImplementedError
+
+
+def encode_result(part):
+    raise NotImplementedError
+
+
+class WorkerState:
+    def run_plan(self, plan, inputs):
+        # Shards are loaded once; everything after this ships only
+        # opaque descriptors and per-shard aggregates back and forth.
+        load_payloads = {
+            name: encode_result(inputs[name]) for name in plan.loads
+        }
+        emit_parts = {}
+        for segment in plan.segments():
+            for result in self._pool.run(segment):
+                for name, payload in result["emits"].items():
+                    emit_parts.setdefault(name, []).append(payload)
+        del load_payloads
+        return self._reduce_emits(emit_parts)
+
+    def _reduce_emits(self, emit_parts):
+        # The sanctioned final reduction point.
+        return {
+            name: _combine(
+                [import_result(p, self._vocab) for p in payloads],
+                regroup=True,
+            )
+            for name, payloads in emit_parts.items()
+        }
+
+    def fetch(self, name):
+        # The sanctioned explicit-materialisation point.
+        return _combine(
+            [import_result(p, self._vocab) for p in self._parts[name]],
+            regroup=True,
+        )

@@ -1,0 +1,574 @@
+"""Unit tests for worker-resident fold pipelines.
+
+Covers segment splitting at exchange barriers, the cross-process stable
+hash, chain partitioning, the peer-to-peer exchange round trip, the chain
+compiler's co-partitioning decisions, :class:`WorkerState` execution and
+maintenance (run_plan / fetch / fold_delta / drop / epoch invalidation),
+and the fetch-through :class:`ResidentMapping`.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import (
+    ColumnarRelation,
+    ParallelContext,
+    PipelinePlan,
+    Relation,
+    WorkerState,
+    group_by,
+    join,
+    symmetric_difference_size,
+    union_all,
+)
+from repro.engine.columnar import current_vocabulary
+from repro.engine.parallel import _split_segments
+from repro.engine.sharding import (
+    chain_partition,
+    export_exchange,
+    gather_exchange,
+    partition_by_attribute,
+    release_exchange,
+    stable_hash,
+)
+from repro.evaluation import bind, default_tree
+from repro.evaluation.yannakakis import (
+    ChainUnsupported,
+    ResidentMapping,
+    _ChainCompiler,
+    compile_botjoin_chain,
+    compile_topjoin_chain,
+)
+from repro.exceptions import InternalError
+from repro.query import parse_query
+
+
+def _vocab_for(generation):
+    return current_vocabulary()
+
+
+def _bag(relation):
+    return dict(relation.items())
+
+
+# =========================================================== segment splitting
+class TestSplitSegments:
+    def test_no_exchange_is_one_segment(self):
+        steps = (("load", "a"), ("join", "t1", "a", "b"), ("emit", "out", "t1"))
+        assert _split_segments(steps) == [steps]
+
+    def test_collect_of_same_segment_scatter_cuts(self):
+        steps = (
+            ("load", "a"),
+            ("scatter", "x", "a", "A"),
+            ("collect", "x"),
+            ("emit", "out", "x"),
+        )
+        segments = _split_segments(steps)
+        assert len(segments) == 2
+        assert segments[0][-1][0] == "scatter"
+        assert segments[1][0] == ("collect", "x")
+
+    def test_collect_of_earlier_segment_scatter_does_not_cut(self):
+        steps = (
+            ("scatter", "x", "a", "A"),
+            ("scatter", "y", "a", "B"),
+            ("collect", "x"),  # cut here: x scattered in this segment
+            ("collect", "y"),  # no new cut: y's descriptors already known
+            ("emit", "out", "y"),
+        )
+        segments = _split_segments(steps)
+        assert len(segments) == 2
+        assert segments[1][0] == ("collect", "x")
+        assert ("collect", "y") in segments[1]
+
+    def test_empty_steps(self):
+        assert _split_segments(()) == []
+
+
+# =============================================================== stable hashing
+class TestStableHash:
+    def test_ints_and_bools_are_masked_identity(self):
+        assert stable_hash(5) == 5
+        assert stable_hash(True) == 1
+        assert stable_hash(-1) == stable_hash(-1)
+
+    def test_deterministic_across_hash_seeds(self):
+        """Placement cannot depend on PYTHONHASHSEED: two processes with
+        different seeds must agree on every string's hash."""
+        code = (
+            "from repro.engine.sharding import stable_hash;"
+            "print([stable_hash(v) % 4 for v in"
+            " ('alpha', 'beta', b'gamma', 3.5, 42)])"
+        )
+        outputs = set()
+        for seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (env.get("PYTHONPATH"), "src") if p
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1
+
+
+class TestChainPartition:
+    @pytest.mark.parametrize("cls", [Relation, ColumnarRelation])
+    def test_exact_and_disjoint(self, cls):
+        relation = cls(["A", "B"], [(f"k{i % 7}", i) for i in range(60)])
+        parts = chain_partition(relation, "A", 3)
+        merged = {}
+        for part in parts:
+            for row, count in part.items():
+                assert row not in merged
+                merged[row] = count
+        assert merged == _bag(relation)
+
+    def test_columnar_matches_per_op_partitioning(self):
+        """Chain loads and per-op shards must co-locate rows (codes % N)."""
+        relation = ColumnarRelation(["A", "B"], [(i % 5, i) for i in range(50)])
+        chain = chain_partition(relation, "A", 4)
+        per_op = partition_by_attribute(relation, "A", 4)
+        for a, b in zip(chain, per_op):
+            assert _bag(a) == _bag(b)
+
+    def test_python_partitioning_uses_stable_hash(self):
+        relation = Relation(["A", "B"], [(f"v{i}", i) for i in range(20)])
+        parts = chain_partition(relation, "A", 3)
+        for shard, part in enumerate(parts):
+            for row, _ in part.items():
+                assert stable_hash(row[0]) % 3 == shard
+
+
+# ============================================================ exchange protocol
+class TestExchange:
+    def test_columnar_exchange_round_trip(self):
+        """N producers scatter, each consumer's gather is exactly the
+        union of its slice of every producer — the repartitioned bag."""
+        relation = ColumnarRelation(["A", "B"], [(i % 5, i % 11) for i in range(100)])
+        producers = partition_by_attribute(relation, "A", 3)
+        descriptors = [export_exchange(part, "B", 3) for part in producers]
+        try:
+            gathered = [
+                gather_exchange(descriptors, shard, _vocab_for) for shard in range(3)
+            ]
+        finally:
+            for descriptor in descriptors:
+                release_exchange(descriptor)
+        expected = partition_by_attribute(relation, "B", 3)
+        for got, want in zip(gathered, expected):
+            assert symmetric_difference_size(got, want) == 0
+
+    def test_empty_columnar_descriptor_is_inline(self):
+        empty = ColumnarRelation(["A", "B"], [])
+        descriptor = export_exchange(empty, "A", 2)
+        assert descriptor[0] == "xcol0"
+        gathered = gather_exchange([descriptor], 0, _vocab_for)
+        assert gathered.is_empty()
+
+    def test_python_exchange_merges_buckets(self):
+        left = Relation(["A", "B"], {("x", 1): 2})
+        right = Relation(["A", "B"], {("x", 1): 3, ("y", 2): 1})
+        descriptors = [
+            export_exchange(left, "A", 2),
+            export_exchange(right, "A", 2),
+        ]
+        merged = {}
+        for shard in range(2):
+            for row, count in gather_exchange(descriptors, shard, _vocab_for).items():
+                assert row not in merged
+                merged[row] = count
+        assert merged == {("x", 1): 5, ("y", 2): 1}
+
+    def test_gather_without_descriptors_raises(self):
+        with pytest.raises(InternalError, match="no descriptors"):
+            gather_exchange([], 0, _vocab_for)
+
+    def test_release_exchange_is_idempotent(self):
+        relation = ColumnarRelation(["A"], [(i,) for i in range(10)])
+        descriptor = export_exchange(relation, "A", 2)
+        assert descriptor[0] == "xseg"
+        release_exchange(descriptor)
+        release_exchange(descriptor)  # second unlink is a no-op
+
+
+# ============================================================== chain compiler
+class TestChainCompiler:
+    def test_copartitioned_join_needs_no_exchange(self):
+        compiler = _ChainCompiler()
+        compiler.load("r", ("A", "B"), "A")
+        compiler.load("s", ("A", "C"), "A")
+        compiler.join("r", "s")
+        assert not any(step[0] == "scatter" for step in compiler.steps)
+
+    def test_misaligned_join_inserts_exchange(self):
+        compiler = _ChainCompiler()
+        compiler.load("r", ("A", "B"), "A")
+        compiler.load("s", ("B", "C"), "C")
+        compiler.join("r", "s")
+        ops = [step[0] for step in compiler.steps]
+        assert "scatter" in ops and "collect" in ops
+
+    def test_group_keeping_partition_attribute_is_direct(self):
+        compiler = _ChainCompiler()
+        compiler.load("r", ("A", "B"), "A")
+        compiler.group("r", ("A",))
+        assert [s[0] for s in compiler.steps].count("group") == 1
+
+    def test_group_dropping_partition_attribute_is_combiner(self):
+        """Local partial group, exchange on the group key, final group."""
+        compiler = _ChainCompiler()
+        compiler.load("r", ("A", "B"), "A")
+        compiler.group("r", ("B",))
+        ops = [s[0] for s in compiler.steps]
+        assert ops.count("group") == 2
+        assert "scatter" in ops
+
+    def test_root_grouping_on_empty_attrs_stays_local(self):
+        compiler = _ChainCompiler()
+        compiler.load("r", ("A",), "A")
+        out = compiler.group("r", ())
+        compiler.emit("root", out)
+        assert not any(s[0] == "scatter" for s in compiler.steps)
+
+    def test_cross_product_join_unsupported(self):
+        compiler = _ChainCompiler()
+        compiler.load("r", ("A",), "A")
+        compiler.load("s", ("B",), "B")
+        with pytest.raises(ChainUnsupported, match="cross-product"):
+            compiler.join("r", "s")
+
+    def test_load_on_foreign_attribute_unsupported(self):
+        compiler = _ChainCompiler()
+        with pytest.raises(ChainUnsupported):
+            compiler.load("r", ("A", "B"), "Z")
+
+    def test_named_registers_exclude_temporaries(self):
+        compiler = _ChainCompiler()
+        compiler.load("node:1", ("A", "B"), "A")
+        joined = compiler.join("node:1", "node:1")
+        compiler.keep("bot:1", joined)
+        names = compiler.named_registers()
+        assert set(names) == {"node:1", "bot:1"}
+
+
+class TestCompileChains:
+    def _bound(self, backend):
+        query = parse_query("R(A,B), S(B,C), T(C,D)")
+        rows = {
+            "R": [(i % 3, i % 4) for i in range(12)],
+            "S": [(i % 4, i % 5) for i in range(12)],
+            "T": [(i % 5, i % 2) for i in range(12)],
+        }
+        cls = ColumnarRelation if backend == "columnar" else Relation
+        db = {name: cls(query.atom(name).variables, rows[name]) for name in rows}
+        from repro.engine import Database
+
+        tree = default_tree(query)
+        return bind(query, tree, Database(db))
+
+    @pytest.mark.parametrize("backend", ["python", "columnar"])
+    def test_bot_plan_keeps_non_root_emits_root(self, backend):
+        bound = self._bound(backend)
+        plan, registers = compile_botjoin_chain(bound)
+        assert plan.emits == ("root",)
+        non_root = [n for n in bound.tree.node_ids if n != bound.tree.root]
+        assert set(plan.keeps) == {f"bot:{n}" for n in non_root}
+        assert set(plan.loads) == {f"node:{n}" for n in bound.tree.node_ids}
+        # Everything that outlives the plan is in the register map.
+        for name in list(plan.keeps) + list(plan.loads):
+            assert name in registers
+
+    @pytest.mark.parametrize("backend", ["python", "columnar"])
+    def test_top_plan_reads_residents_keeps_tops(self, backend):
+        bound = self._bound(backend)
+        _, registers = compile_botjoin_chain(bound)
+        top = compile_topjoin_chain(bound, registers)
+        assert top.emits == ()
+        assert set(top.reads) == set(registers)
+        non_root = [n for n in bound.tree.node_ids if n != bound.tree.root]
+        assert set(top.keeps) == {f"top:{n}" for n in non_root}
+
+    def test_single_node_tree_unsupported(self):
+        query = parse_query("R(A,B)")
+        db_rows = {"R": Relation(["A", "B"], [(1, 2)])}
+        from repro.engine import Database
+
+        tree = default_tree(query)
+        bound = bind(query, tree, Database(db_rows))
+        with pytest.raises(ChainUnsupported, match="single-node"):
+            compile_botjoin_chain(bound)
+
+
+# ================================================================ worker state
+@pytest.fixture(scope="module")
+def context():
+    with ParallelContext(2, min_shard_rows=0) as ctx:
+        yield ctx
+
+
+class TestWorkerState:
+    @pytest.mark.parametrize("cls", [Relation, ColumnarRelation])
+    def test_run_plan_emit_matches_serial(self, context, cls):
+        left = cls(["A", "B"], [(i % 5, i) for i in range(60)])
+        right = cls(["A", "C"], [(i % 5, -i) for i in range(60)])
+        compiler = _ChainCompiler()
+        compiler.load("r", ("A", "B"), "A")
+        compiler.load("s", ("A", "C"), "A")
+        joined = compiler.join("r", "s")
+        grouped = compiler.group(joined, ("B",))  # combiner: drops "A"
+        compiler.emit("out", grouped)
+        state = context.chain_state()
+        try:
+            emits = state.run_plan(compiler.plan(), {"r": left, "s": right})
+            expected = group_by(join(left, right), ["B"])
+            assert symmetric_difference_size(emits["out"], expected) == 0
+        finally:
+            state.close()
+
+    @pytest.mark.parametrize("cls", [Relation, ColumnarRelation])
+    def test_keep_then_fetch_round_trip(self, context, cls):
+        left = cls(["A", "B"], [(i % 3, i) for i in range(30)])
+        right = cls(["A", "C"], [(i % 3, -i) for i in range(30)])
+        compiler = _ChainCompiler()
+        compiler.load("r", ("A", "B"), "A")
+        compiler.load("s", ("A", "C"), "A")
+        joined = compiler.join("r", "s")
+        grouped = compiler.group(joined, ("A",))
+        compiler.keep("kept", grouped)
+        state = context.chain_state()
+        try:
+            state.run_plan(compiler.plan(), {"r": left, "s": right})
+            expected = group_by(join(left, right), ["A"])
+            assert state.total("kept") == expected.total_count()
+            fetched = state.fetch("kept")
+            assert symmetric_difference_size(fetched, expected) == 0
+        finally:
+            state.close()
+
+    @pytest.mark.parametrize("cls", [Relation, ColumnarRelation])
+    def test_registers_persist_across_plans(self, context, cls):
+        """The point of residency: a later plan reads what an earlier
+        plan kept, without reloading."""
+        base = cls(["A", "B"], [(i % 4, i % 6) for i in range(40)])
+        first = _ChainCompiler()
+        first.load("r", ("A", "B"), "A")
+        grouped = first.group("r", ("A", "B"))
+        first.keep("kept", grouped)
+        second = _ChainCompiler()
+        second.read("kept", ("A", "B"), "A")
+        second.read("r", ("A", "B"), "A")
+        joined = second.join("kept", "r")
+        out = second.group(joined, ("A",))
+        second.emit("out", out)
+        state = context.chain_state()
+        try:
+            state.run_plan(first.plan(), {"r": base})
+            emits = state.run_plan(second.plan(), {})
+            expected = group_by(
+                join(group_by(base, ["A", "B"]), base), ["A"]
+            )
+            assert symmetric_difference_size(emits["out"], expected) == 0
+        finally:
+            state.close()
+
+    def test_missing_read_raises(self, context):
+        compiler = _ChainCompiler()
+        compiler.read("ghost", ("A",), "A")
+        out = compiler.group("ghost", ("A",))
+        compiler.emit("out", out)
+        state = context.chain_state()
+        try:
+            with pytest.raises(InternalError, match="non-resident"):
+                state.run_plan(compiler.plan(), {})
+        finally:
+            state.close()
+
+    @pytest.mark.parametrize("cls", [Relation, ColumnarRelation])
+    def test_fold_delta_insert_and_delete(self, context, cls):
+        base = cls(["A", "B"], {(i % 4, i): 2 for i in range(40)})
+        compiler = _ChainCompiler()
+        compiler.load("r", ("A", "B"), "A")
+        grouped = compiler.group("r", ("A", "B"))
+        compiler.keep("kept", grouped)
+        state = context.chain_state()
+        try:
+            state.run_plan(compiler.plan(), {"r": base})
+            plus = cls(["A", "B"], {(1, 999): 3})
+            minus = cls(["A", "B"], {(0, 0): 1})
+            from repro.engine import difference
+
+            expected = difference(union_all([base, plus]), minus)
+            assert state.fold_delta(
+                "kept",
+                [(plus, True), (minus, False)],
+                expected_total=expected.total_count(),
+            )
+            assert symmetric_difference_size(state.fetch("kept"), expected) == 0
+        finally:
+            state.close()
+
+    def test_fold_delta_schema_permutation_aligns(self, context):
+        """Delta column order follows its own join chain, not the
+        register's — the worker re-orders before the bag fold."""
+        base = Relation(["A", "B"], {(1, 2): 1, (3, 4): 2})
+        compiler = _ChainCompiler()
+        compiler.load("r", ("A", "B"), "A")
+        grouped = compiler.group("r", ("A", "B"))
+        compiler.keep("kept", grouped)
+        state = context.chain_state()
+        try:
+            state.run_plan(compiler.plan(), {"r": base})
+            delta = Relation(["B", "A"], {(2, 1): 5})
+            assert state.fold_delta("kept", [(delta, True)], expected_total=8)
+            fetched = state.fetch("kept")
+            assert fetched.multiplicity((1, 2)) == 6
+        finally:
+            state.close()
+
+    def test_fold_delta_total_mismatch_drops_register(self, context):
+        base = Relation(["A", "B"], {(1, 2): 1})
+        compiler = _ChainCompiler()
+        compiler.load("r", ("A", "B"), "A")
+        grouped = compiler.group("r", ("A", "B"))
+        compiler.keep("kept", grouped)
+        state = context.chain_state()
+        try:
+            state.run_plan(compiler.plan(), {"r": base})
+            delta = Relation(["A", "B"], {(9, 9): 1})
+            assert not state.fold_delta("kept", [(delta, True)], expected_total=777)
+            assert "kept" not in state.registers
+            with pytest.raises(InternalError):
+                state.fetch("kept")
+        finally:
+            state.close()
+
+    def test_fold_into_unknown_register_returns_false(self, context):
+        state = context.chain_state()
+        try:
+            delta = Relation(["A"], {(1,): 1})
+            assert state.fold_delta("never-kept", [(delta, True)]) is False
+        finally:
+            state.close()
+
+    def test_drop_clears_worker_arenas(self, context):
+        base = Relation(["A", "B"], {(1, 2): 1})
+        compiler = _ChainCompiler()
+        compiler.load("r", ("A", "B"), "A")
+        grouped = compiler.group("r", ("A", "B"))
+        compiler.keep("kept", grouped)
+        state = context.chain_state()
+        try:
+            state.run_plan(compiler.plan(), {"r": base})
+            state.drop()
+            assert state.registers == {}
+            with pytest.raises(InternalError):
+                state.fetch("kept")
+        finally:
+            state.close()
+
+    def test_closed_state_refuses_use(self, context):
+        state = context.chain_state()
+        state.close()
+        state.close()  # idempotent
+        with pytest.raises(InternalError, match="close"):
+            state.sync_registers()
+
+    def test_serial_context_has_no_chain_state(self):
+        with ParallelContext(1) as serial:
+            assert serial.chain_state() is None
+
+    def test_chains_false_disables_chain_state(self):
+        with ParallelContext(2, min_shard_rows=0, chains=False) as ctx:
+            assert ctx.chain_state() is None
+
+
+class TestEpochInvalidation:
+    def test_worker_death_invalidates_registers(self):
+        """A crashed worker respawns the whole set; the epoch bump tells
+        the state its arenas evaporated (sync clears, fetch fails)."""
+        with ParallelContext(2, min_shard_rows=0) as ctx:
+            base = Relation(["A", "B"], {(i % 3, i): 1 for i in range(12)})
+            compiler = _ChainCompiler()
+            compiler.load("r", ("A", "B"), "A")
+            grouped = compiler.group("r", ("A", "B"))
+            compiler.keep("kept", grouped)
+            state = ctx.chain_state()
+            state.run_plan(compiler.plan(), {"r": base})
+            assert "kept" in state.registers
+            pool = ctx._pool
+            old_epoch = pool.epoch
+            os.kill(pool._handles[0].process.pid, 9)
+            pool._handles[0].process.join(timeout=5)
+            state.sync_registers()  # restarts the set, clears registers
+            assert pool.epoch > old_epoch
+            assert state.registers == {}
+            with pytest.raises(InternalError):
+                state.fetch("kept")
+
+
+# ============================================================ resident mapping
+class _StubState:
+    def __init__(self, values, fail=()):
+        self._values = values
+        self._fail = set(fail)
+        self.fetches = []
+
+    def fetch(self, register):
+        self.fetches.append(register)
+        if register in self._fail:
+            raise InternalError(f"register {register!r} gone")
+        return self._values[register]
+
+
+class TestResidentMapping:
+    def test_local_overlay_wins_and_fetch_caches(self):
+        state = _StubState({"bot:1": "fetched"})
+        mapping = ResidentMapping(
+            state, {"n1": "bot:1", "root": None}, {"root": "local"}, dict
+        )
+        assert mapping["root"] == "local"
+        assert mapping.peek("n1") is None  # peek never fetches
+        assert mapping["n1"] == "fetched"
+        assert mapping["n1"] == "fetched"
+        assert state.fetches == ["bot:1"]  # cached after the first fetch
+        assert mapping.materialized("n1")
+
+    def test_setitem_overrides_register(self):
+        state = _StubState({"bot:1": "stale"})
+        mapping = ResidentMapping(state, {"n1": "bot:1"}, {}, dict)
+        mapping["n1"] = "committed"
+        assert mapping["n1"] == "committed"
+        assert state.fetches == []
+
+    def test_failed_fetch_recovers_whole_dict(self):
+        state = _StubState({}, fail={"bot:1"})
+        recovered = {"n1": "recomputed", "n2": "also"}
+        mapping = ResidentMapping(
+            state, {"n1": "bot:1", "n2": "bot:2"}, {}, lambda: recovered
+        )
+        assert mapping["n1"] == "recomputed"
+        assert mapping.peek("n2") == "also"  # recover() filled everything
+
+    def test_none_register_is_keyerror(self):
+        mapping = ResidentMapping(_StubState({}), {"root": None}, {}, dict)
+        with pytest.raises(KeyError):
+            mapping["root"]
+
+    def test_iteration_and_len_cover_both_sources(self):
+        mapping = ResidentMapping(
+            _StubState({}), {"a": "bot:a", "b": "bot:b"}, {"b": 1, "c": 2}, dict
+        )
+        assert set(mapping) == {"a", "b", "c"}
+        assert len(mapping) == 3
+        del mapping["a"]
+        assert set(mapping) == {"b", "c"}

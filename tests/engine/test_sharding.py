@@ -7,7 +7,10 @@ reset-under-workers guard), the ShardMap identity cache, the
 ``workers=1`` identity guarantee, and the `_match_pairs` sort cache.
 """
 
+import gc
+import os
 import pickle
+from multiprocessing import shared_memory
 
 import numpy as np
 import pytest
@@ -397,3 +400,112 @@ class TestApplyDelta:
         wrong_source = Relation(["A", "B"], {(1, 2): 3, (1, 3): 5})
         assert cache.apply_delta("bot:n1", wrong_source, [(delta, True)]) is False
         assert len(cache) == 0
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        shared_memory.SharedMemory(name=name).close()
+    except FileNotFoundError:
+        return False
+    return True
+
+
+def _base_segment_names(entry) -> list:
+    return [
+        payload[1][1]
+        for payload in entry.payloads
+        if payload[0] == "shard" and payload[1][0] == "shm"
+    ]
+
+
+def _exit_worker(row) -> bool:
+    """A predicate that kills the executing worker (death mid-fold)."""
+    os._exit(1)
+
+
+class TestWorkerDeathCleanup:
+    """A crashed worker mid-fold must not strand shared-memory exports."""
+
+    def test_shard_map_bases_unlink_without_close(self):
+        """The ShardMap finalizer sweep releases base exports even when a
+        worker death raised through the session before close() ran."""
+        with ParallelContext(2, min_shard_rows=0) as context:
+            relation = ColumnarRelation(["A", "B"], [(i % 3, i) for i in range(60)])
+            other = ColumnarRelation(["A", "C"], [(i % 3, -i) for i in range(60)])
+            cache = ShardMap()
+            entry = cache.get("bot:x", relation, "A", 2, share=True)
+            names = _base_segment_names(entry)
+            assert names and all(_segment_exists(n) for n in names)
+            context.join(relation, other)  # spawn the workers
+            # A worker dying *while folding* surfaces as InternalError,
+            # tearing down the session without an orderly ShardMap.close().
+            with pytest.raises(InternalError, match="died"):
+                context._pool.run(
+                    [
+                        (
+                            "filter",
+                            {
+                                "relation": ("py", ("A",), {(1,): 1}),
+                                "predicate": _exit_worker,
+                            },
+                        )
+                        for _ in range(2)
+                    ]
+                )
+            del entry
+            del cache  # abandoned mid-error: the weakref sweep must fire
+            gc.collect()
+            assert not any(_segment_exists(n) for n in names)
+
+    def test_shard_map_close_remains_idempotent(self):
+        relation = ColumnarRelation(["A", "B"], [(i % 3, i) for i in range(30)])
+        cache = ShardMap()
+        entry = cache.get("x", relation, "A", 2, share=True)
+        names = _base_segment_names(entry)
+        cache.close()
+        cache.close()
+        assert not any(_segment_exists(n) for n in names)
+
+
+class TestWorkerPoolLifecycle:
+    def test_pool_restarts_after_crashed_worker(self):
+        """A killed worker bumps the epoch on the next dispatch and the
+        fresh set answers normally."""
+        with ParallelContext(2, min_shard_rows=0) as context:
+            left = ColumnarRelation(["A", "B"], [(i % 3, i) for i in range(30)])
+            right = ColumnarRelation(["A", "C"], [(i % 3, -i) for i in range(30)])
+            serial = join(left, right)
+            assert symmetric_difference_size(context.join(left, right), serial) == 0
+            pool = context._pool
+            first_epoch = pool.epoch
+            os.kill(pool._handles[1].process.pid, 9)
+            pool._handles[1].process.join(timeout=5)
+            # The next operation restarts the whole set and succeeds.
+            assert symmetric_difference_size(context.join(left, right), serial) == 0
+            assert pool.epoch == first_epoch + 1
+            assert all(h.process.is_alive() for h in pool._handles)
+
+    def test_more_workers_than_cores(self):
+        """Oversubscription is legal: correctness never depends on the
+        worker count matching the host."""
+        workers = (os.cpu_count() or 1) + 2
+        with ParallelContext(workers, min_shard_rows=0) as context:
+            left = ColumnarRelation(["A", "B"], [(i % 7, i) for i in range(100)])
+            right = ColumnarRelation(["A", "C"], [(i % 7, -i) for i in range(100)])
+            assert symmetric_difference_size(
+                context.join(left, right), join(left, right)
+            ) == 0
+
+    def test_double_close_is_idempotent(self):
+        context = ParallelContext(2, min_shard_rows=0)
+        left = ColumnarRelation(["A", "B"], [(1, 2)])
+        right = ColumnarRelation(["A", "C"], [(1, 3)])
+        context.join(left, right)  # spawn the workers
+        pool = context._pool
+        context.close()
+        context.close()
+        pool.close()
+        pool.close()
+        assert not pool._handles
+        with pytest.raises(SessionError):
+            pool.run([("group_by", {"relation": ("py", ("A",), {}), "attrs": ()})])

@@ -1,0 +1,214 @@
+"""Worker-resident fold pipelines == per-op sharding == serial.
+
+The resident chain path (PR 10) is a pure execution strategy on top of
+the per-op sharded path (PR 7), which is itself bag-identical to serial
+evaluation.  This suite pins the three-way agreement on both execution
+backends:
+
+* ``count()``, ``sensitivity()`` and ``top_k()`` agree across serial,
+  per-op sharded (``chains=False``) and worker-resident (``chains=True``)
+  sessions, over acyclic / cyclic-GHD / disconnected query shapes;
+* the same holds for *maintained* sessions under random interleaved
+  update batches — resident registers fold committed deltas worker-side
+  and must stay bag-identical to the serial fold;
+* and through the serving layer: an :class:`EpochManager` over a
+  resident-parallel session pins epoch-consistent snapshots (a lease
+  acquired at epoch 0 answers from the pre-update database while writer
+  batches fold into newer epochs).
+
+``min_shard_rows=0`` forces the chain gate open on tiny random
+instances; worker pools are module-scoped because process spawns per
+hypothesis example would dominate the suite.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import prepare
+from repro.datasets import (
+    random_acyclic_query,
+    random_database,
+    random_update_stream,
+)
+from repro.engine.parallel import ParallelContext
+from repro.query import parse_query
+from repro.serve import EpochManager
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+BACKENDS = ("python", "columnar")
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    pools = {
+        "resident": ParallelContext(2, min_shard_rows=0, chains=True),
+        "per-op": ParallelContext(2, min_shard_rows=0, chains=False),
+    }
+    yield pools
+    for context in pools.values():
+        context.close()
+
+
+def _assert_same_result(candidate, serial, query, label):
+    assert candidate.local_sensitivity == serial.local_sensitivity, label
+    for relation in query.relation_names:
+        a = candidate.per_relation[relation]
+        b = serial.per_relation[relation]
+        assert a.sensitivity == b.sensitivity, (label, relation)
+        assert dict(a.assignment) == dict(b.assignment), (label, relation)
+
+
+def _assert_three_way_agreement(query, db, contexts, top_k=True):
+    serial = prepare(query, db)
+    count = serial.count()
+    result = serial.sensitivity(method="tsens")
+    k_result = serial.top_k(2) if top_k else None
+    for label, context in contexts.items():
+        session = prepare(query, db, parallel=context)
+        try:
+            assert session.count() == count, label
+            _assert_same_result(
+                session.sensitivity(method="tsens"), result, query, label
+            )
+            if top_k:
+                _assert_same_result(session.top_k(2), k_result, query, label)
+        finally:
+            session.close()
+
+
+def _batched(stream, rng):
+    batches = []
+    cursor = 0
+    while cursor < len(stream):
+        size = int(rng.integers(1, 4))
+        batches.append(stream[cursor : cursor + size])
+        cursor += size
+    return batches
+
+
+def _replayed(db, stream):
+    for op, relation, row in stream:
+        db = (
+            db.add_tuple(relation, row)
+            if op == "insert"
+            else db.remove_tuple(relation, row)
+        )
+    return db
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestResidentEqualsPerOpEqualsSerial:
+    @given(seed=seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_acyclic(self, backend, seed, contexts):
+        rng = np.random.default_rng(seed)
+        query = random_acyclic_query(rng, num_atoms=1 + int(rng.integers(0, 5)))
+        db = random_database(query, rng, backend=backend)
+        _assert_three_way_agreement(query, db, contexts)
+
+    @given(seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_cyclic_ghd(self, backend, seed, contexts):
+        rng = np.random.default_rng(seed)
+        query = parse_query("R1(A,B), R2(B,C), R3(C,A)")
+        db = random_database(query, rng, domain_size=3, max_rows=5, backend=backend)
+        _assert_three_way_agreement(query, db, contexts, top_k=False)
+
+    @given(seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_disconnected(self, backend, seed, contexts):
+        """Each component compiles (or declines) its own chain."""
+        rng = np.random.default_rng(seed)
+        query = parse_query("R(A,B), S(B,C), T(X,Y), U(Y,Z)")
+        db = random_database(query, rng, domain_size=4, max_rows=6, backend=backend)
+        _assert_three_way_agreement(query, db, contexts, top_k=False)
+
+    @given(seed=seeds, n_updates=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=8, deadline=None)
+    def test_interleaved_update_batches(self, backend, seed, n_updates, contexts):
+        """Maintained resident registers fold delta batches exactly."""
+        rng = np.random.default_rng(seed)
+        query = random_acyclic_query(rng, num_atoms=2 + int(rng.integers(0, 3)))
+        db = random_database(query, rng, backend=backend)
+        sessions = {
+            label: prepare(query, db, parallel=context)
+            for label, context in contexts.items()
+        }
+        try:
+            for session in sessions.values():
+                session.count()
+                session.sensitivity()  # materialise maintained state
+            stream = random_update_stream(query, db, rng, n_updates)
+            mutated = db
+            for batch in _batched(stream, rng):
+                mutated = _replayed(mutated, batch)
+                for session in sessions.values():
+                    session.apply(batch)
+                # Read between batches: resident registers must reflect
+                # every committed fold, not just the final state.
+                counts = {
+                    label: session.count() for label, session in sessions.items()
+                }
+                assert counts["resident"] == counts["per-op"]
+            fresh = prepare(query, mutated)
+            count = fresh.count()
+            result = fresh.sensitivity(method="tsens")
+            for label, session in sessions.items():
+                assert session.count() == count, label
+                _assert_same_result(
+                    session.sensitivity(method="tsens"), result, query, label
+                )
+        finally:
+            for session in sessions.values():
+                session.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestResidentThroughServeEpochs:
+    @given(seed=seeds, n_updates=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=6, deadline=None)
+    def test_epoch_snapshots_stay_consistent(
+        self, backend, seed, n_updates, contexts
+    ):
+        """A lease pinned before the writer stream answers from its own
+        epoch even while resident registers fold newer batches."""
+        rng = np.random.default_rng(seed)
+        query = random_acyclic_query(rng, num_atoms=2)
+        db = random_database(query, rng, backend=backend)
+        session = prepare(query, db, parallel=contexts["resident"])
+        manager = EpochManager(session)
+        pinned = manager.acquire()
+        baseline = (manager.count(pinned), manager.sensitivity(pinned).local_sensitivity)
+
+        stream = random_update_stream(query, db, rng, n_updates)
+        batches = _batched(stream, rng)
+        mutated = db
+        for batch in batches:
+            mutated = _replayed(mutated, batch)
+            manager.apply(batch)
+
+        # The pinned lease still reads the epoch-0 snapshot.
+        fresh_before = prepare(query, db)
+        assert baseline == (
+            fresh_before.count(),
+            fresh_before.sensitivity().local_sensitivity,
+        )
+        assert (
+            manager.count(pinned),
+            manager.sensitivity(pinned).local_sensitivity,
+        ) == baseline
+
+        # The head serves the fully-folded state.
+        head = manager.acquire()
+        fresh_after = prepare(query, mutated)
+        assert manager.count(head) == fresh_after.count()
+        assert (
+            manager.sensitivity(head).local_sensitivity
+            == fresh_after.sensitivity().local_sensitivity
+        )
+        head.release()
+        pinned.release()
+        manager.close()
+        session.close()
